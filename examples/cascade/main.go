@@ -1,0 +1,65 @@
+// Cascade: the cascading-controller-failure risk the paper warns about
+// (Yao et al., ICNP'13). After a failure, recovery piles extra control load
+// onto the survivors; if one of them is pushed past a safety threshold it
+// fails too, and the cascade continues. Because switch-level recovery moves
+// whole-γ loads and per-flow recovery spreads sessions, the two differ in
+// how far the cascade runs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"pmedic"
+	"pmedic/internal/eval"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dep, err := pmedic.ATT()
+	if err != nil {
+		return err
+	}
+	workload, err := pmedic.NewWorkload(dep, pmedic.WorkloadOptions{})
+	if err != nil {
+		return err
+	}
+	algs := pmedic.Algorithms(time.Second)[:3]
+	for _, trigger := range []float64{1.0, 0.95, 0.9} {
+		fmt.Printf("=== cascade trigger: controllers fail above %.0f%% load ===\n", 100*trigger)
+		for _, alg := range algs {
+			res, err := eval.Cascade(dep, workload, []int{3}, alg, trigger)
+			if err != nil {
+				return err
+			}
+			last := res.FinalReport()
+			status := "stabilized"
+			if res.Collapsed {
+				status = "TOTAL COLLAPSE"
+			}
+			fmt.Printf("%-10s %d round(s), %s", alg.Name, res.SurvivedRounds(), status)
+			if last != nil {
+				fmt.Printf("; final recovery: %d flows, total programmability %d",
+					last.RecoveredFlows, last.TotalProg)
+			}
+			fmt.Println()
+			for i, round := range res.Rounds {
+				if len(round.Overloaded) > 0 {
+					sites := make([]pmedic.NodeID, 0, len(round.Overloaded))
+					for _, j := range round.Overloaded {
+						sites = append(sites, dep.Controllers[j].Site)
+					}
+					fmt.Printf("           round %d overloads controllers at sites %v\n", i+1, sites)
+				}
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}

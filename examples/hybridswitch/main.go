@@ -1,0 +1,95 @@
+// Hybridswitch: a guided walk through the three switch pipelines of the
+// paper's Fig. 2 — pure OpenFlow, pure legacy (OSPF), and the hybrid
+// high-priority-flow-table/legacy-fallthrough mode that makes per-flow
+// programmability recovery possible without a middle layer.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pmedic"
+	"pmedic/internal/sdnsim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dep, err := pmedic.ATT()
+	if err != nil {
+		return err
+	}
+	workload, err := pmedic.NewWorkload(dep, pmedic.WorkloadOptions{})
+	if err != nil {
+		return err
+	}
+	net, err := pmedic.Simulate(dep, workload)
+	if err != nil {
+		return err
+	}
+
+	// Pick a multi-hop flow and narrate its first switch.
+	f := &workload.Flows[4]
+	sw := net.Switches[f.Src]
+	name := func(v pmedic.NodeID) string {
+		n, _ := dep.Graph.Node(v)
+		return n.Name
+	}
+	fmt.Printf("flow %d: %s -> %s, installed path %v\n\n", f.ID, name(f.Src), name(f.Dst), f.Path)
+
+	show := func(label string) {
+		nh, verdict := sw.Forward(f.ID, f.Dst)
+		switch verdict {
+		case sdnsim.VerdictFlowTable:
+			fmt.Printf("%-28s -> flow-table hit, next hop %s\n", label, name(nh))
+		case sdnsim.VerdictLegacy:
+			fmt.Printf("%-28s -> miss, legacy (OSPF) table, next hop %s\n", label, name(nh))
+		case sdnsim.VerdictPuntNoMatch:
+			fmt.Printf("%-28s -> miss, packet punted to controller\n", label)
+		default:
+			fmt.Printf("%-28s -> %v\n", label, verdict)
+		}
+	}
+
+	fmt.Println("Fig. 2(a) — pure OpenFlow pipeline:")
+	sw.Pipeline = sdnsim.PipelineSDN
+	show("  with flow entry")
+	sw.RemoveEntry(f.ID)
+	show("  entry removed")
+
+	fmt.Println("\nFig. 2(b) — pure legacy pipeline:")
+	sw.Pipeline = sdnsim.PipelineLegacy
+	show("  (flow table ignored)")
+
+	fmt.Println("\nFig. 2(c) — hybrid pipeline (what PM relies on):")
+	sw.Pipeline = sdnsim.PipelineHybrid
+	show("  without flow entry")
+	sw.InstallEntry(sdnsim.FlowEntry{FlowID: f.ID, Priority: 100, NextHop: f.Path[1]})
+	show("  with flow entry")
+
+	fmt.Println("\nThe hybrid mode is exactly why recovery can pick, per flow, whether a")
+	fmt.Println("controller session is spent (SDN mode) or the flow rides OSPF for free:")
+	fmt.Println("removing one flow's entry changes that flow only — every other flow's")
+	fmt.Println("entry keeps matching first.")
+
+	// Show that per-flow independence concretely on the full network.
+	other := &workload.Flows[5]
+	net.Switches[f.Src].RemoveEntry(f.ID)
+	trA, err := net.Inject(f.ID)
+	if err != nil {
+		return err
+	}
+	trB, err := net.Inject(other.ID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nflow %d (entry removed at %s): verdict at first hop = %v\n",
+		f.ID, name(f.Src), trA.Verdicts[0])
+	fmt.Printf("flow %d (untouched):           verdict at first hop = %v\n",
+		other.ID, trB.Verdicts[0])
+	return nil
+}

@@ -1,0 +1,64 @@
+// Sweep: the paper's evaluation in one command — run PM against RetroFlow
+// and ProgrammabilityGuardian over every two-controller failure combination
+// and print the Fig. 5 series (add -optimal to include the exact solver).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"pmedic"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	failures := flag.Int("failures", 2, "simultaneous controller failures (1, 2, or 3)")
+	withOptimal := flag.Bool("optimal", false, "include the exact solver (slower)")
+	optTime := flag.Duration("opt-time", 30*time.Second, "per-case budget for the exact solver")
+	flag.Parse()
+
+	dep, err := pmedic.ATT()
+	if err != nil {
+		return err
+	}
+	workload, err := pmedic.NewWorkload(dep, pmedic.WorkloadOptions{})
+	if err != nil {
+		return err
+	}
+	algs := pmedic.Algorithms(*optTime)
+	if !*withOptimal {
+		algs = algs[:3]
+	}
+	cases, err := pmedic.Sweep(dep, workload, *failures, algs)
+	if err != nil {
+		return err
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "CASE\tALG\tMIN\tMEDIAN\tTOTAL\t%% OF RETROFLOW\tRECOVERED\tOVERHEAD/FLOW\n")
+	for _, c := range cases {
+		for _, alg := range algs {
+			rep := c.Report(alg.Name)
+			if rep == nil {
+				fmt.Fprintf(w, "%s\t%s\t-\t-\t-\t-\t-\t-\n", c.Label, alg.Name)
+				continue
+			}
+			box, _ := c.ProgBox(alg.Name)
+			pct, _ := c.TotalProgPctOf(alg.Name, "RetroFlow")
+			flows, _ := c.RecoveredFlowPct(alg.Name)
+			over, _ := c.PerFlowOverheadMs(alg.Name)
+			fmt.Fprintf(w, "%s\t%s\t%d\t%.1f\t%d\t%.0f%%\t%.0f%%\t%.2fms\n",
+				c.Label, alg.Name, rep.MinProg, box.Median, rep.TotalProg, pct, flows, over)
+		}
+	}
+	return w.Flush()
+}

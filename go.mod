@@ -1,0 +1,3 @@
+module pmedic
+
+go 1.22

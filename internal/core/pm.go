@@ -1,0 +1,360 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// PM solves the FMSSM instance with the paper's Algorithm 1: iterative
+// balanced recovery of the least-programmable flows followed by a final pass
+// that spends leftover controller capacity on total programmability.
+//
+// The paper's listing leaves two orders unspecified and contains two evident
+// slips; this implementation resolves them as documented in DESIGN.md §7:
+//
+//   - The controller scan of lines 20–24 stops at the first (nearest)
+//     controller with sufficient capacity (the listing forgets the break).
+//   - A sweep in which no test-set switch hosts any least-programmability
+//     flow fast-forwards to the next iteration instead of dereferencing a
+//     NULL switch index.
+//   - Within a switch, floor flows are activated scarcity-first (fewest
+//     remaining alternative pairs first), so flows whose only eligible pair
+//     sits at an oversubscribed hub switch are not starved by flows that
+//     have alternatives elsewhere.
+//   - Before the final utilization pass, switches whose controller ran dry
+//     while they still had inactive pairs are remapped — whole, preserving
+//     the switch-level mapping constraint — to the controller that can
+//     absorb their activated load and fund the most additional pairs. This
+//     is what keeps PM's total programmability near PG's (the paper's
+//     claim) when geography concentrates mappings on few controllers.
+func PM(p *Problem) (*Solution, error) {
+	if !p.finalized() {
+		return nil, fmt.Errorf("%w: problem not finalized", ErrInvalidProblem)
+	}
+	start := time.Now()
+	s := NewSolution("PM", p)
+
+	rest := make([]int, p.NumControllers)
+	copy(rest, p.Rest)
+	h := make([]int, p.NumFlows) // temporary programmability per flow
+	// alternatives[l] counts flow l's not-yet-activated pairs; it drives the
+	// scarcity-first activation order.
+	alternatives := make([]int, p.NumFlows)
+	for _, pr := range p.Pairs {
+		alternatives[pr.Flow]++
+	}
+
+	inTestSet := make([]bool, p.NumSwitches)
+	resetTestSet := func() {
+		for i := range inTestSet {
+			inTestSet[i] = true
+		}
+	}
+	resetTestSet()
+	remaining := p.NumSwitches
+	sigma := 0
+	testCount := 0
+
+	// nearest[i] caches the delay-ascending controller order per switch.
+	nearest := make([][]int, p.NumSwitches)
+
+	minH := func() int {
+		m := int(^uint(0) >> 1)
+		for _, v := range h {
+			if v < m {
+				m = v
+			}
+		}
+		if len(h) == 0 {
+			return 0
+		}
+		return m
+	}
+
+	// usedMs tracks total control propagation overhead. PM is delay-
+	// conscious the way the paper describes — nearest-controller preferences
+	// and delay-aware tie-breaks — but the budget G is not a hard cap for
+	// the heuristic (the paper's own Fig. 5(f) discussion has PM below G in
+	// only 8 of 15 cases); only the exact solver enforces Eq. (14).
+	usedMs := 0.0
+	activate := func(k, j0 int) {
+		usedMs += p.Delay[p.Pairs[k].Switch][j0]
+		l := p.Pairs[k].Flow
+		rest[j0]--
+		h[l] += p.Pairs[k].PBar
+		alternatives[l]--
+		s.Active[k] = true
+	}
+
+	scratch := make([]int, 0, 64)
+	for testCount < p.TotalIterations {
+		// Find the switch hosting the most flows whose programmability still
+		// sits at the current floor σ (lines 5–15).
+		delta, i0 := 0, -1
+		for i := 0; i < p.NumSwitches; i++ {
+			if !inTestSet[i] {
+				continue
+			}
+			testNum := 0
+			for _, k := range p.PairsAtSwitch(i) {
+				if h[p.Pairs[k].Flow] == sigma {
+					testNum++
+				}
+			}
+			if testNum > delta {
+				delta, i0 = testNum, i
+			}
+		}
+		if i0 < 0 {
+			// No switch in the test set can lift a floor flow: end the sweep.
+			resetTestSet()
+			remaining = p.NumSwitches
+			testCount++
+			sigma = minH()
+			continue
+		}
+
+		// Map switch i0 to a controller (lines 17–29).
+		j0 := s.SwitchController[i0]
+		if j0 < 0 {
+			if nearest[i0] == nil {
+				nearest[i0] = p.NearestControllers(i0)
+			}
+			for _, j := range nearest[i0] {
+				if rest[j] >= p.Gamma[i0] {
+					j0 = j
+					break
+				}
+			}
+			if j0 < 0 {
+				// No controller can absorb the whole switch (γ flows): try
+				// the nearest one that can absorb its SDN-mode control cost —
+				// the eligible pair count, which is what hybrid routing
+				// actually charges — before falling back to the controller
+				// with the most residual capacity (line 26).
+				for _, j := range nearest[i0] {
+					if rest[j] >= p.EligiblePairCount(i0) {
+						j0 = j
+						break
+					}
+				}
+			}
+			if j0 < 0 {
+				best := -1
+				for j := 0; j < p.NumControllers; j++ {
+					if best < 0 || rest[j] > rest[best] {
+						best = j
+					}
+				}
+				j0 = best
+			}
+			s.SwitchController[i0] = j0
+		}
+		inTestSet[i0] = false
+		remaining--
+
+		// Enable SDN mode for floor flows at i0 while capacity lasts
+		// (lines 31–36), scarcity-first.
+		scratch = scratch[:0]
+		for _, k := range p.PairsAtSwitch(i0) {
+			if !s.Active[k] && h[p.Pairs[k].Flow] <= sigma {
+				scratch = append(scratch, k)
+			}
+		}
+		sort.SliceStable(scratch, func(a, b int) bool {
+			return alternatives[p.Pairs[scratch[a]].Flow] < alternatives[p.Pairs[scratch[b]].Flow]
+		})
+		for _, k := range scratch {
+			if rest[j0] <= 0 {
+				break
+			}
+			if h[p.Pairs[k].Flow] <= sigma { // may have been lifted this loop
+				activate(k, j0)
+			}
+		}
+
+		if remaining == 0 {
+			resetTestSet()
+			remaining = p.NumSwitches
+			testCount++
+			sigma = minH()
+		}
+	}
+
+	// Final pass: spend leftover capacity on total programmability
+	// (lines 42–50), alternating with switch rebalancing until neither makes
+	// progress. Capacity is spent on the highest-p̄ pairs first — the order
+	// that maximizes obj₂ under scarcity — and the fill runs before each
+	// rebalance so the rebalance sees true saturation.
+	// Map any switch the balancing loop never selected (all of its flows
+	// were lifted elsewhere first) so the utilization pass can reach its
+	// pairs: nearest controller with spare capacity, else nearest.
+	for i := 0; i < p.NumSwitches; i++ {
+		if s.SwitchController[i] >= 0 || p.EligiblePairCount(i) == 0 {
+			continue
+		}
+		if nearest[i] == nil {
+			nearest[i] = p.NearestControllers(i)
+		}
+		j0 := nearest[i][0]
+		for _, j := range nearest[i] {
+			if rest[j] > 0 {
+				j0 = j
+				break
+			}
+		}
+		s.SwitchController[i] = j0
+	}
+
+	byPBar := make([]int, len(p.Pairs))
+	for k := range byPBar {
+		byPBar[k] = k
+	}
+	sort.SliceStable(byPBar, func(a, b int) bool {
+		return p.Pairs[byPBar[a]].PBar > p.Pairs[byPBar[b]].PBar
+	})
+	for round := 0; round < 64; round++ {
+		for _, k := range byPBar {
+			if s.Active[k] {
+				continue
+			}
+			j0 := s.SwitchController[p.Pairs[k].Switch]
+			if j0 >= 0 && rest[j0] > 0 {
+				activate(k, j0)
+			}
+		}
+		moved := rebalance(p, s, rest, &usedMs)
+		upgraded := upgrade(p, s, rest, h, alternatives, &usedMs)
+		if !moved && !upgraded {
+			break
+		}
+	}
+
+	// Unmap switches that ended up with no active pair: mapping them would
+	// consume a controller session for nothing.
+	activeAt := make([]bool, p.NumSwitches)
+	for k, on := range s.Active {
+		if on {
+			activeAt[p.Pairs[k].Switch] = true
+		}
+	}
+	for i := range s.SwitchController {
+		if !activeAt[i] {
+			s.SwitchController[i] = -1
+		}
+	}
+
+	s.Runtime = time.Since(start)
+	return s, nil
+}
+
+// rebalance moves whole switches between controllers when the move lets more
+// of the switch's inactive pairs be funded — or, gain being equal, lowers
+// control delay — keeping the per-switch single-controller mapping and the
+// delay budget. rest and usedMs are updated in place; it reports whether any
+// switch moved.
+func rebalance(p *Problem, s *Solution, rest []int, usedMs *float64) bool {
+	activated := make([]int, p.NumSwitches) // currently charged pairs per switch
+	inactive := make([]int, p.NumSwitches)
+	for k, pr := range p.Pairs {
+		if s.Active[k] {
+			activated[pr.Switch]++
+		} else {
+			inactive[pr.Switch]++
+		}
+	}
+	anyMoved := false
+	// The move budget guards against ping-pong cycles; gains are strict so
+	// cycles are not expected, but the bound makes termination unconditional.
+	budget := 4 * p.NumSwitches
+	for moved := true; moved && budget > 0; {
+		moved = false
+		budget--
+		for i := 0; i < p.NumSwitches; i++ {
+			j := s.SwitchController[i]
+			if j < 0 || inactive[i] == 0 {
+				continue
+			}
+			// fundable pairs if the switch stays put vs. moves to j'.
+			stay := min(rest[j], inactive[i])
+			bestJ, bestGain := -1, 0
+			for j2 := 0; j2 < p.NumControllers; j2++ {
+				if j2 == j || rest[j2] < activated[i] {
+					continue
+				}
+				gain := min(rest[j2]-activated[i], inactive[i]) - stay
+				if gain > bestGain ||
+					(gain == bestGain && bestJ >= 0 && p.Delay[i][j2] < p.Delay[i][bestJ]) {
+					bestGain, bestJ = gain, j2
+				}
+			}
+			if bestJ < 0 {
+				continue
+			}
+			rest[j] += activated[i]
+			rest[bestJ] -= activated[i]
+			*usedMs += float64(activated[i]) * (p.Delay[i][bestJ] - p.Delay[i][j])
+			s.SwitchController[i] = bestJ
+			moved, anyMoved = true, true
+		}
+	}
+	return anyMoved
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// upgrade performs capacity-aware pair swaps: if a flow holds an activated
+// low-p̄ pair while a higher-p̄ pair of the same flow sits inactive at a
+// switch whose controller has room (or at a switch charged to the same
+// controller), swap them — provided the delay budget still holds. Each swap
+// strictly increases total programmability without overloading any
+// controller, so the loop terminates. It reports whether anything changed.
+func upgrade(p *Problem, s *Solution, rest, h, alternatives []int, usedMs *float64) bool {
+	changed := false
+	for l := 0; l < p.NumFlows; l++ {
+		ks := p.PairsOfFlow(l)
+		for {
+			worst, best := -1, -1
+			for _, k := range ks {
+				if s.Active[k] {
+					if worst < 0 || p.Pairs[k].PBar < p.Pairs[worst].PBar {
+						worst = k
+					}
+					continue
+				}
+				jNew := s.SwitchController[p.Pairs[k].Switch]
+				if jNew < 0 {
+					continue
+				}
+				if best < 0 || p.Pairs[k].PBar > p.Pairs[best].PBar {
+					best = k
+				}
+			}
+			if worst < 0 || best < 0 || p.Pairs[best].PBar <= p.Pairs[worst].PBar {
+				break
+			}
+			jOld := s.SwitchController[p.Pairs[worst].Switch]
+			jNew := s.SwitchController[p.Pairs[best].Switch]
+			if jNew != jOld && rest[jNew] <= 0 {
+				break
+			}
+			deltaMs := p.Delay[p.Pairs[best].Switch][jNew] - p.Delay[p.Pairs[worst].Switch][jOld]
+			s.Active[worst] = false
+			rest[jOld]++
+			alternatives[l]++
+			s.Active[best] = true
+			rest[jNew]--
+			alternatives[l]--
+			h[l] += p.Pairs[best].PBar - p.Pairs[worst].PBar
+			*usedMs += deltaMs
+			changed = true
+		}
+	}
+	return changed
+}

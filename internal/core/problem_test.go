@@ -1,0 +1,153 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// tinyProblem builds a small, hand-checkable instance:
+//
+//	2 switches, 2 controllers, 3 flows.
+//	Switch 0: pairs with flows 0 (p̄=2) and 1 (p̄=3).
+//	Switch 1: pairs with flows 1 (p̄=2) and 2 (p̄=4).
+//	Rest = [2, 2]; delays favor controller 0 for switch 0, 1 for switch 1.
+func tinyProblem(t *testing.T) *Problem {
+	t.Helper()
+	p := &Problem{
+		NumSwitches:    2,
+		NumControllers: 2,
+		NumFlows:       3,
+		Rest:           []int{2, 2},
+		Gamma:          []int{10, 10},
+		Delay: [][]float64{
+			{1, 5},
+			{5, 1},
+		},
+		Pairs: []Pair{
+			{Switch: 0, Flow: 0, PBar: 2},
+			{Switch: 0, Flow: 1, PBar: 3},
+			{Switch: 1, Flow: 1, PBar: 2},
+			{Switch: 1, Flow: 2, PBar: 4},
+		},
+	}
+	if err := p.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	p.BudgetMs = p.IdealDelayBudget()
+	return p
+}
+
+func TestFinalizeValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Problem)
+	}{
+		{"empty", func(p *Problem) { p.NumSwitches = 0 }},
+		{"rest size", func(p *Problem) { p.Rest = []int{1} }},
+		{"gamma size", func(p *Problem) { p.Gamma = nil }},
+		{"delay rows", func(p *Problem) { p.Delay = p.Delay[:1] }},
+		{"delay cols", func(p *Problem) { p.Delay[0] = p.Delay[0][:1] }},
+		{"negative delay", func(p *Problem) { p.Delay[0][0] = -1 }},
+		{"nan delay", func(p *Problem) { p.Delay[1][1] = math.NaN() }},
+		{"negative rest", func(p *Problem) { p.Rest[0] = -1 }},
+		{"pair switch", func(p *Problem) { p.Pairs[0].Switch = 9 }},
+		{"pair flow", func(p *Problem) { p.Pairs[0].Flow = -1 }},
+		{"pair pbar", func(p *Problem) { p.Pairs[0].PBar = 1 }},
+		{"negative lambda", func(p *Problem) { p.Lambda = -0.5 }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			p := &Problem{
+				NumSwitches:    2,
+				NumControllers: 2,
+				NumFlows:       3,
+				Rest:           []int{2, 2},
+				Gamma:          []int{10, 10},
+				Delay:          [][]float64{{1, 5}, {5, 1}},
+				Pairs: []Pair{
+					{Switch: 0, Flow: 0, PBar: 2},
+					{Switch: 1, Flow: 2, PBar: 4},
+				},
+			}
+			tc.mutate(p)
+			if err := p.Finalize(); err == nil {
+				t.Fatal("Finalize accepted an invalid problem")
+			}
+		})
+	}
+}
+
+func TestFinalizeDerivedFields(t *testing.T) {
+	p := tinyProblem(t)
+	if p.Lambda != DefaultLambda {
+		t.Fatalf("Lambda = %v, want default %v", p.Lambda, DefaultLambda)
+	}
+	// Flow 1 has pairs at both switches -> TotalIterations = 2.
+	if p.TotalIterations != 2 {
+		t.Fatalf("TotalIterations = %d, want 2", p.TotalIterations)
+	}
+	if got := p.PairsAtSwitch(0); len(got) != 2 {
+		t.Fatalf("PairsAtSwitch(0) = %v", got)
+	}
+	if got := p.PairsOfFlow(1); len(got) != 2 {
+		t.Fatalf("PairsOfFlow(1) = %v", got)
+	}
+	if p.EligiblePairCount(1) != 2 {
+		t.Fatalf("EligiblePairCount(1) = %d", p.EligiblePairCount(1))
+	}
+	if p.TotalRest() != 4 {
+		t.Fatalf("TotalRest = %d", p.TotalRest())
+	}
+	if p.MaxPossibleProgrammability() != 11 {
+		t.Fatalf("MaxPossibleProgrammability = %d", p.MaxPossibleProgrammability())
+	}
+}
+
+func TestNearestControllers(t *testing.T) {
+	p := tinyProblem(t)
+	if got := p.NearestControllers(0); got[0] != 0 || got[1] != 1 {
+		t.Fatalf("NearestControllers(0) = %v", got)
+	}
+	if got := p.NearestControllers(1); got[0] != 1 || got[1] != 0 {
+		t.Fatalf("NearestControllers(1) = %v", got)
+	}
+}
+
+func TestNearestControllersTieBreak(t *testing.T) {
+	p := &Problem{
+		NumSwitches:    1,
+		NumControllers: 3,
+		NumFlows:       1,
+		Rest:           []int{1, 1, 1},
+		Gamma:          []int{1},
+		Delay:          [][]float64{{2, 2, 1}},
+		Pairs:          []Pair{{Switch: 0, Flow: 0, PBar: 2}},
+	}
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	got := p.NearestControllers(0)
+	want := []int{2, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIdealDelayBudget(t *testing.T) {
+	p := tinyProblem(t)
+	// γ=10 each; nearest delays are 1 and 1.
+	if p.IdealDelayBudget() != 20 {
+		t.Fatalf("G = %v, want 20", p.IdealDelayBudget())
+	}
+}
+
+func TestVerifyRejectsUnfinalized(t *testing.T) {
+	p := &Problem{NumSwitches: 1, NumControllers: 1, NumFlows: 1}
+	s := &Solution{SwitchController: []int{-1}, Active: []bool{}}
+	if err := s.Verify(p); !errors.Is(err, ErrInvalidProblem) {
+		t.Fatalf("error = %v, want ErrInvalidProblem", err)
+	}
+}

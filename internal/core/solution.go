@@ -1,0 +1,256 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Solution is the output of a recovery algorithm for one Problem.
+//
+// Two families of algorithms share this type:
+//
+//   - Switch-mapping solutions (PM, Optimal, RetroFlow) fill
+//     SwitchController; the controller charged for an active pair is the one
+//     its switch is mapped to. RetroFlow additionally sets SwitchLevel: a
+//     whole recovered switch costs γ_i capacity regardless of how many of
+//     its pairs are eligible.
+//   - Flow-mapping solutions (PG) fill PairController directly: each active
+//     pair may be charged to a different controller, which is exactly the
+//     fine-grained mapping the middle layer buys.
+type Solution struct {
+	// Algorithm names the producer, e.g. "PM", "RetroFlow", "PG", "Optimal".
+	Algorithm string
+	// SwitchController[i] is the controller offline switch i is mapped to,
+	// or -1 if the switch stays unmapped (legacy mode for all its flows).
+	SwitchController []int
+	// Active[k] reports whether Pairs[k] is configured in SDN mode.
+	Active []bool
+	// PairController[k] overrides the charged controller per active pair;
+	// nil for switch-mapping solutions.
+	PairController []int
+	// SwitchLevel selects whole-switch capacity accounting (γ_i per mapped
+	// switch) instead of per-active-pair accounting.
+	SwitchLevel bool
+	// MiddleLayer selects the middle-layer delay model (Problem-independent;
+	// evaluation uses the scenario's middle-layer delay matrix when set).
+	MiddleLayer bool
+	// Runtime is the wall-clock time the algorithm took.
+	Runtime time.Duration
+}
+
+// NewSolution returns an all-legacy (nothing recovered) solution shell for p.
+func NewSolution(algorithm string, p *Problem) *Solution {
+	s := &Solution{
+		Algorithm:        algorithm,
+		SwitchController: make([]int, p.NumSwitches),
+		Active:           make([]bool, len(p.Pairs)),
+	}
+	for i := range s.SwitchController {
+		s.SwitchController[i] = -1
+	}
+	return s
+}
+
+// ErrInfeasible reports a solution that violates the problem's constraints.
+var ErrInfeasible = errors.New("core: infeasible solution")
+
+// controllerOfPair returns the controller charged for pair k, or -1.
+func (s *Solution) controllerOfPair(p *Problem, k int) int {
+	if s.PairController != nil {
+		return s.PairController[k]
+	}
+	return s.SwitchController[p.Pairs[k].Switch]
+}
+
+// Verify checks structural and capacity feasibility of s against p:
+// dimensions match, every switch maps to at most one controller (encoded),
+// every active pair is charged to a valid controller, and no controller
+// exceeds its residual capacity. The delay budget is a soft constraint in
+// the heuristics (as in the paper) and is reported, not enforced, here.
+func (s *Solution) Verify(p *Problem) error {
+	if !p.finalized() {
+		return fmt.Errorf("%w: problem not finalized", ErrInvalidProblem)
+	}
+	if len(s.SwitchController) != p.NumSwitches {
+		return fmt.Errorf("%w: len(SwitchController)=%d, want %d", ErrInfeasible, len(s.SwitchController), p.NumSwitches)
+	}
+	if len(s.Active) != len(p.Pairs) {
+		return fmt.Errorf("%w: len(Active)=%d, want %d", ErrInfeasible, len(s.Active), len(p.Pairs))
+	}
+	if s.PairController != nil && len(s.PairController) != len(p.Pairs) {
+		return fmt.Errorf("%w: len(PairController)=%d, want %d", ErrInfeasible, len(s.PairController), len(p.Pairs))
+	}
+	for i, j := range s.SwitchController {
+		if j < -1 || j >= p.NumControllers {
+			return fmt.Errorf("%w: switch %d mapped to controller %d", ErrInfeasible, i, j)
+		}
+	}
+	loads, err := s.ControllerLoads(p)
+	if err != nil {
+		return err
+	}
+	for j, load := range loads {
+		if load > p.Rest[j] {
+			return fmt.Errorf("%w: controller %d load %d exceeds residual %d", ErrInfeasible, j, load, p.Rest[j])
+		}
+	}
+	return nil
+}
+
+// ControllerLoads returns the capacity consumed per controller. Switch-level
+// solutions charge γ_i per mapped switch; per-flow solutions charge one unit
+// per active pair to the pair's controller. An active pair whose controller
+// is -1 is an encoding error.
+func (s *Solution) ControllerLoads(p *Problem) ([]int, error) {
+	loads := make([]int, p.NumControllers)
+	if s.SwitchLevel {
+		for i, j := range s.SwitchController {
+			if j >= 0 {
+				loads[j] += p.Gamma[i]
+			}
+		}
+		// Active pairs must be consistent: only at mapped switches.
+		for k, on := range s.Active {
+			if on && s.controllerOfPair(p, k) < 0 {
+				return nil, fmt.Errorf("%w: active pair %d at unmapped switch %d", ErrInfeasible, k, p.Pairs[k].Switch)
+			}
+		}
+		return loads, nil
+	}
+	for k, on := range s.Active {
+		if !on {
+			continue
+		}
+		j := s.controllerOfPair(p, k)
+		if j < 0 || j >= p.NumControllers {
+			return nil, fmt.Errorf("%w: active pair %d charged to controller %d", ErrInfeasible, k, j)
+		}
+		loads[j]++
+	}
+	return loads, nil
+}
+
+// FlowProgrammability returns pro^l for every flow: the sum of p̄ over the
+// flow's active pairs.
+func (s *Solution) FlowProgrammability(p *Problem) []int {
+	pro := make([]int, p.NumFlows)
+	for k, on := range s.Active {
+		if on {
+			pro[p.Pairs[k].Flow] += p.Pairs[k].PBar
+		}
+	}
+	return pro
+}
+
+// Report aggregates the paper's per-instance metrics for one solution.
+type Report struct {
+	Algorithm string
+	// FlowProg[l] is pro^l.
+	FlowProg []int
+	// MinProg is r: the minimum pro^l over all offline flows.
+	MinProg int
+	// TotalProg is Σ_l pro^l.
+	TotalProg int
+	// Objective is r + λ·TotalProg.
+	Objective float64
+	// RecoveredFlows counts flows with pro^l >= 1.
+	RecoveredFlows int
+	// RecoveredSwitches counts offline switches that take part in recovery:
+	// mapped switches for switch-mapping solutions, switches with at least
+	// one active pair for flow-mapping solutions.
+	RecoveredSwitches int
+	// ControllerLoad[j] is the capacity consumed on controller j.
+	ControllerLoad []int
+	// OverheadMs is the total control propagation overhead; PerFlowOverheadMs
+	// divides it by RecoveredFlows (the paper's Fig. 4(d)/5(f)/6(f) metric).
+	OverheadMs        float64
+	PerFlowOverheadMs float64
+	// WithinBudget reports OverheadMs <= Problem.BudgetMs.
+	WithinBudget bool
+	Runtime      time.Duration
+}
+
+// EvaluateOptions tunes metric computation.
+type EvaluateOptions struct {
+	// MiddleDelay, when non-nil and the solution has MiddleLayer set, is the
+	// switch×controller delay matrix through the middle layer (propagation
+	// via the layer plus its processing time), replacing Problem.Delay in
+	// overhead accounting.
+	MiddleDelay [][]float64
+}
+
+// Evaluate verifies s and computes its Report.
+func Evaluate(p *Problem, s *Solution, opts EvaluateOptions) (*Report, error) {
+	if err := s.Verify(p); err != nil {
+		return nil, err
+	}
+	loads, err := s.ControllerLoads(p)
+	if err != nil {
+		return nil, err
+	}
+	pro := s.FlowProgrammability(p)
+	r := &Report{
+		Algorithm:      s.Algorithm,
+		FlowProg:       pro,
+		ControllerLoad: loads,
+		Runtime:        s.Runtime,
+	}
+	r.MinProg = int(^uint(0) >> 1)
+	for _, v := range pro {
+		r.TotalProg += v
+		if v >= 1 {
+			r.RecoveredFlows++
+		}
+		if v < r.MinProg {
+			r.MinProg = v
+		}
+	}
+	if len(pro) == 0 {
+		r.MinProg = 0
+	}
+	r.Objective = float64(r.MinProg) + p.Lambda*float64(r.TotalProg)
+
+	delayOf := func(i, j int) float64 {
+		if s.MiddleLayer && opts.MiddleDelay != nil {
+			return opts.MiddleDelay[i][j]
+		}
+		return p.Delay[i][j]
+	}
+	if s.SwitchLevel {
+		for i, j := range s.SwitchController {
+			if j >= 0 {
+				r.RecoveredSwitches++
+				r.OverheadMs += float64(p.Gamma[i]) * delayOf(i, j)
+			}
+		}
+	} else {
+		touched := make([]bool, p.NumSwitches)
+		for k, on := range s.Active {
+			if !on {
+				continue
+			}
+			i := p.Pairs[k].Switch
+			touched[i] = true
+			r.OverheadMs += delayOf(i, s.controllerOfPair(p, k))
+		}
+		if s.PairController == nil {
+			for _, j := range s.SwitchController {
+				if j >= 0 {
+					r.RecoveredSwitches++
+				}
+			}
+		} else {
+			for _, t := range touched {
+				if t {
+					r.RecoveredSwitches++
+				}
+			}
+		}
+	}
+	if r.RecoveredFlows > 0 {
+		r.PerFlowOverheadMs = r.OverheadMs / float64(r.RecoveredFlows)
+	}
+	r.WithinBudget = r.OverheadMs <= p.BudgetMs+1e-9
+	return r, nil
+}

@@ -1,0 +1,133 @@
+// Package des is a deterministic discrete-event simulation engine: a virtual
+// millisecond clock and a priority queue of callbacks. Events scheduled for
+// the same instant fire in scheduling order, so simulations are reproducible
+// run to run.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Time is a virtual timestamp in milliseconds since simulation start.
+type Time float64
+
+// event is one scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(event)
+	if !ok {
+		return // unreachable: Push is only invoked through heap.Push below
+	}
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Simulator owns the virtual clock and the pending-event queue. The zero
+// value is ready to use. Simulator is not safe for concurrent use; a
+// simulation is a single logical thread of control.
+type Simulator struct {
+	now     Time
+	pending eventHeap
+	seq     uint64
+	fired   int
+}
+
+// Scheduling errors.
+var (
+	ErrPastEvent = errors.New("des: event scheduled in the past")
+	ErrBadDelay  = errors.New("des: invalid delay")
+)
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Simulator) Fired() int { return s.fired }
+
+// Pending returns the number of events not yet executed.
+func (s *Simulator) Pending() int { return len(s.pending) }
+
+// Schedule runs fn after delay milliseconds of virtual time.
+func (s *Simulator) Schedule(delay Time, fn func()) error {
+	if delay < 0 || math.IsNaN(float64(delay)) || math.IsInf(float64(delay), 0) {
+		return fmt.Errorf("%w: %v", ErrBadDelay, delay)
+	}
+	return s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt runs fn at the given absolute virtual time.
+func (s *Simulator) ScheduleAt(at Time, fn func()) error {
+	if at < s.now {
+		return fmt.Errorf("%w: %v < now %v", ErrPastEvent, at, s.now)
+	}
+	if fn == nil {
+		return errors.New("des: nil event function")
+	}
+	heap.Push(&s.pending, event{at: at, seq: s.seq, fn: fn})
+	s.seq++
+	return nil
+}
+
+// Step executes the next pending event, advancing the clock to its time.
+// It reports whether an event was executed.
+func (s *Simulator) Step() bool {
+	if len(s.pending) == 0 {
+		return false
+	}
+	ev, _ := heap.Pop(&s.pending).(event)
+	s.now = ev.at
+	s.fired++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains or limit events have fired
+// (limit <= 0 means no limit). It returns the number of events executed by
+// this call.
+func (s *Simulator) Run(limit int) int {
+	count := 0
+	for (limit <= 0 || count < limit) && s.Step() {
+		count++
+	}
+	return count
+}
+
+// RunUntil executes events with timestamps <= deadline and then advances the
+// clock to the deadline. It returns the number of events executed.
+func (s *Simulator) RunUntil(deadline Time) int {
+	count := 0
+	for len(s.pending) > 0 && s.pending[0].at <= deadline {
+		s.Step()
+		count++
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return count
+}

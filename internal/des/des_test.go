@@ -1,0 +1,158 @@
+package des
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	var s Simulator
+	var got []int
+	mustSchedule(t, &s, 5, func() { got = append(got, 2) })
+	mustSchedule(t, &s, 1, func() { got = append(got, 1) })
+	mustSchedule(t, &s, 9, func() { got = append(got, 3) })
+	if n := s.Run(0); n != 3 {
+		t.Fatalf("Run = %d events", n)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if s.Now() != 9 {
+		t.Fatalf("clock = %v, want 9", s.Now())
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	var s Simulator
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		mustSchedule(t, &s, 3, func() { got = append(got, i) })
+	}
+	s.Run(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("simultaneous events out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	var s Simulator
+	var trace []Time
+	mustSchedule(t, &s, 1, func() {
+		trace = append(trace, s.Now())
+		mustSchedule(t, &s, 2, func() {
+			trace = append(trace, s.Now())
+		})
+	})
+	s.Run(0)
+	if len(trace) != 2 || trace[0] != 1 || trace[1] != 3 {
+		t.Fatalf("trace = %v", trace)
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	var s Simulator
+	if err := s.Schedule(-1, func() {}); !errors.Is(err, ErrBadDelay) {
+		t.Fatalf("negative delay error = %v", err)
+	}
+	if err := s.Schedule(Time(math.NaN()), func() {}); !errors.Is(err, ErrBadDelay) {
+		t.Fatalf("NaN delay error = %v", err)
+	}
+	if err := s.Schedule(Time(math.Inf(1)), func() {}); !errors.Is(err, ErrBadDelay) {
+		t.Fatalf("inf delay error = %v", err)
+	}
+	if err := s.ScheduleAt(-5, func() {}); !errors.Is(err, ErrPastEvent) {
+		t.Fatalf("past event error = %v", err)
+	}
+	if err := s.Schedule(1, nil); err == nil {
+		t.Fatal("nil fn must be rejected")
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	var s Simulator
+	count := 0
+	for i := 0; i < 5; i++ {
+		mustSchedule(t, &s, Time(i), func() { count++ })
+	}
+	if n := s.Run(2); n != 2 || count != 2 {
+		t.Fatalf("Run(2) executed %d/%d", n, count)
+	}
+	if s.Pending() != 3 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var s Simulator
+	var fired []Time
+	for _, at := range []Time{1, 2, 3, 10} {
+		at := at
+		mustSchedule(t, &s, at, func() { fired = append(fired, at) })
+	}
+	if n := s.RunUntil(5); n != 3 {
+		t.Fatalf("RunUntil(5) = %d", n)
+	}
+	if s.Now() != 5 {
+		t.Fatalf("clock = %v, want deadline 5", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	// The remaining event still runs after the deadline.
+	s.Run(0)
+	if s.Now() != 10 || len(fired) != 4 {
+		t.Fatalf("after drain: now=%v fired=%v", s.Now(), fired)
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	var s Simulator
+	for i := 0; i < 7; i++ {
+		mustSchedule(t, &s, 1, func() {})
+	}
+	s.Run(0)
+	if s.Fired() != 7 {
+		t.Fatalf("Fired = %d", s.Fired())
+	}
+}
+
+// TestRandomizedClockMonotonicity fires random events and asserts the clock
+// never goes backwards and all events execute in timestamp order.
+func TestRandomizedClockMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var s Simulator
+	var stamps []Time
+	n := 500
+	want := make([]Time, 0, n)
+	for i := 0; i < n; i++ {
+		at := Time(rng.Float64() * 1000)
+		want = append(want, at)
+		mustSchedule(t, &s, at, func() { stamps = append(stamps, s.Now()) })
+	}
+	s.Run(0)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(stamps) != n {
+		t.Fatalf("executed %d, want %d", len(stamps), n)
+	}
+	for i := range stamps {
+		if stamps[i] != want[i] {
+			t.Fatalf("event %d at %v, want %v", i, stamps[i], want[i])
+		}
+		if i > 0 && stamps[i] < stamps[i-1] {
+			t.Fatal("clock went backwards")
+		}
+	}
+}
+
+func mustSchedule(t *testing.T, s *Simulator, d Time, fn func()) {
+	t.Helper()
+	if err := s.Schedule(d, fn); err != nil {
+		t.Fatal(err)
+	}
+}

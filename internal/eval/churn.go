@@ -1,0 +1,84 @@
+package eval
+
+import (
+	"pmedic/internal/core"
+	"pmedic/internal/flow"
+	"pmedic/internal/scenario"
+	"pmedic/internal/topo"
+)
+
+// ChurnReport quantifies how much reconfiguration a new recovery forces on
+// top of a previous one during successive failures: a stable algorithm
+// touches few switches and flows that were already recovered.
+type ChurnReport struct {
+	// CommonSwitches counts offline switches present in both steps.
+	CommonSwitches int
+	// RemappedSwitches counts common switches whose controller changed
+	// (including mapped <-> legacy transitions).
+	RemappedSwitches int
+	// CommonPairs counts (switch, flow) decision points present in both.
+	CommonPairs int
+	// ToggledPairs counts common pairs whose SDN/legacy mode flipped.
+	ToggledPairs int
+}
+
+// pairKey identifies a decision point independently of instance indexing.
+type pairKey struct {
+	sw topo.NodeID
+	fl flow.ID
+}
+
+// controllerBySwitch maps each offline switch to the global controller index
+// it is mapped to (-1 = legacy).
+func controllerBySwitch(inst *scenario.Instance, sol *core.Solution) map[topo.NodeID]int {
+	out := make(map[topo.NodeID]int, len(inst.Switches))
+	for i, sw := range inst.Switches {
+		jj := sol.SwitchController[i]
+		if jj < 0 {
+			out[sw] = -1
+			continue
+		}
+		out[sw] = inst.Active[jj]
+	}
+	return out
+}
+
+// activePairs maps each decision point to its mode.
+func activePairs(inst *scenario.Instance, sol *core.Solution) map[pairKey]bool {
+	out := make(map[pairKey]bool, len(inst.Problem.Pairs))
+	for k, pr := range inst.Problem.Pairs {
+		key := pairKey{sw: inst.Switches[pr.Switch], fl: inst.FlowIDs[pr.Flow]}
+		out[key] = sol.Active[k]
+	}
+	return out
+}
+
+// Churn compares two consecutive recoveries of a successive-failure episode.
+func Churn(prevInst *scenario.Instance, prev *core.Solution, nextInst *scenario.Instance, next *core.Solution) ChurnReport {
+	var r ChurnReport
+	prevCtrl := controllerBySwitch(prevInst, prev)
+	nextCtrl := controllerBySwitch(nextInst, next)
+	for sw, pj := range prevCtrl {
+		nj, ok := nextCtrl[sw]
+		if !ok {
+			continue
+		}
+		r.CommonSwitches++
+		if pj != nj {
+			r.RemappedSwitches++
+		}
+	}
+	prevPairs := activePairs(prevInst, prev)
+	nextPairs := activePairs(nextInst, next)
+	for key, pOn := range prevPairs {
+		nOn, ok := nextPairs[key]
+		if !ok {
+			continue
+		}
+		r.CommonPairs++
+		if pOn != nOn {
+			r.ToggledPairs++
+		}
+	}
+	return r
+}

@@ -1,0 +1,232 @@
+// Package eval is the experiment harness: it runs recovery algorithms over
+// failure cases, aggregates the paper's metrics (programmability box
+// statistics, totals normalized to RetroFlow, recovery percentages,
+// controller loads, per-flow communication overhead, computation time), and
+// renders them as the rows/series of the paper's figures.
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"pmedic/internal/core"
+	"pmedic/internal/flow"
+	"pmedic/internal/scenario"
+	"pmedic/internal/topo"
+)
+
+// Algorithm is a named recovery algorithm. Run may return ErrNoResult to
+// indicate that no solution was found within its constraints/budget (the
+// paper's "Optimal cannot always have results" cases).
+type Algorithm struct {
+	Name string
+	Run  func(inst *scenario.Instance) (*core.Solution, error)
+}
+
+// ErrNoResult marks an algorithm that produced no solution for a case;
+// the harness records the absence instead of failing the whole sweep.
+var ErrNoResult = errors.New("eval: no result")
+
+// CaseResult holds every algorithm's report for one failure case.
+type CaseResult struct {
+	Label    string
+	Failed   []int
+	Instance *scenario.Instance
+	// Reports maps algorithm name to its report; algorithms that returned
+	// ErrNoResult are absent.
+	Reports map[string]*core.Report
+}
+
+// Report returns the named algorithm's report, or nil when it has none.
+func (c *CaseResult) Report(name string) *core.Report {
+	return c.Reports[name]
+}
+
+// Sweep runs every algorithm over every failure combination of size k and
+// returns one CaseResult per case, in lexicographic case order.
+func Sweep(dep *topo.Deployment, flows *flow.Set, k int, algs []Algorithm) ([]*CaseResult, error) {
+	combos := scenario.Combinations(len(dep.Controllers), k)
+	results := make([]*CaseResult, 0, len(combos))
+	for _, failed := range combos {
+		cr, err := RunCase(dep, flows, failed, algs)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, cr)
+	}
+	return results, nil
+}
+
+// RunCase builds the instance for one failure combination and runs every
+// algorithm on it.
+func RunCase(dep *topo.Deployment, flows *flow.Set, failed []int, algs []Algorithm) (*CaseResult, error) {
+	inst, err := scenario.Build(dep, flows, failed)
+	if err != nil {
+		return nil, fmt.Errorf("eval: case %v: %w", failed, err)
+	}
+	cr := &CaseResult{
+		Label:    inst.Label(),
+		Failed:   append([]int(nil), failed...),
+		Instance: inst,
+		Reports:  make(map[string]*core.Report, len(algs)),
+	}
+	for _, alg := range algs {
+		sol, err := alg.Run(inst)
+		if errors.Is(err, ErrNoResult) {
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("eval: case %v: %s: %w", failed, alg.Name, err)
+		}
+		rep, err := inst.Evaluate(sol)
+		if err != nil {
+			return nil, fmt.Errorf("eval: case %v: %s: %w", failed, alg.Name, err)
+		}
+		cr.Reports[alg.Name] = rep
+	}
+	return cr, nil
+}
+
+// BoxStat summarizes a distribution the way the paper's box plots do.
+type BoxStat struct {
+	Min, Q1, Median, Q3, Max float64
+	N                        int
+}
+
+// Quartiles computes box statistics with linear interpolation between order
+// statistics (the convention of matplotlib's boxplot, which the paper uses).
+func Quartiles(values []int) BoxStat {
+	if len(values) == 0 {
+		return BoxStat{}
+	}
+	xs := make([]float64, len(values))
+	for i, v := range values {
+		xs[i] = float64(v)
+	}
+	sort.Float64s(xs)
+	quantile := func(q float64) float64 {
+		pos := q * float64(len(xs)-1)
+		lo := int(pos)
+		if lo >= len(xs)-1 {
+			return xs[len(xs)-1]
+		}
+		frac := pos - float64(lo)
+		return xs[lo]*(1-frac) + xs[lo+1]*frac
+	}
+	return BoxStat{
+		Min:    xs[0],
+		Q1:     quantile(0.25),
+		Median: quantile(0.5),
+		Q3:     quantile(0.75),
+		Max:    xs[len(xs)-1],
+		N:      len(xs),
+	}
+}
+
+// ProgBox returns the box statistics of per-flow programmability for one
+// algorithm in one case (Figs. 4(a), 5(a), 6(a)). Unrecovered flows
+// contribute zeros, as in the paper's RetroFlow whiskers.
+func (c *CaseResult) ProgBox(name string) (BoxStat, bool) {
+	rep := c.Reports[name]
+	if rep == nil {
+		return BoxStat{}, false
+	}
+	return Quartiles(rep.FlowProg), true
+}
+
+// TotalProgPctOf returns an algorithm's total programmability normalized to
+// a baseline algorithm's, in percent (Figs. 4(b), 5(b), 6(b)). ok is false
+// when either report is missing or the baseline total is zero.
+func (c *CaseResult) TotalProgPctOf(name, baseline string) (float64, bool) {
+	a, b := c.Reports[name], c.Reports[baseline]
+	if a == nil || b == nil || b.TotalProg == 0 {
+		return 0, false
+	}
+	return 100 * float64(a.TotalProg) / float64(b.TotalProg), true
+}
+
+// RecoveredFlowPct returns the percentage of offline flows an algorithm
+// recovered (Figs. 4(c), 5(c), 6(c)). The denominator is the recoverable
+// offline flow count of the instance.
+func (c *CaseResult) RecoveredFlowPct(name string) (float64, bool) {
+	rep := c.Reports[name]
+	if rep == nil {
+		return 0, false
+	}
+	total := c.Instance.Problem.NumFlows
+	if total == 0 {
+		return 0, false
+	}
+	return 100 * float64(rep.RecoveredFlows) / float64(total), true
+}
+
+// RecoveredSwitchPct returns the percentage of offline switches recovered
+// (Figs. 5(d), 6(d)).
+func (c *CaseResult) RecoveredSwitchPct(name string) (float64, bool) {
+	rep := c.Reports[name]
+	if rep == nil {
+		return 0, false
+	}
+	total := len(c.Instance.Switches)
+	if total == 0 {
+		return 0, false
+	}
+	return 100 * float64(rep.RecoveredSwitches) / float64(total), true
+}
+
+// ControllerLoadPct returns per-active-controller capacity utilization in
+// percent of the residual capacity (Figs. 5(e), 6(e)), ordered like
+// Instance.Active.
+func (c *CaseResult) ControllerLoadPct(name string) ([]float64, bool) {
+	rep := c.Reports[name]
+	if rep == nil {
+		return nil, false
+	}
+	p := c.Instance.Problem
+	out := make([]float64, len(rep.ControllerLoad))
+	for j, load := range rep.ControllerLoad {
+		if p.Rest[j] > 0 {
+			out[j] = 100 * float64(load) / float64(p.Rest[j])
+		}
+	}
+	return out, true
+}
+
+// PerFlowOverheadMs returns the per-flow communication overhead metric
+// (Figs. 4(d), 5(f), 6(f)).
+func (c *CaseResult) PerFlowOverheadMs(name string) (float64, bool) {
+	rep := c.Reports[name]
+	if rep == nil {
+		return 0, false
+	}
+	return rep.PerFlowOverheadMs, true
+}
+
+// RuntimePct returns an algorithm's computation time as a percentage of the
+// baseline's (Fig. 7).
+func (c *CaseResult) RuntimePct(name, baseline string) (float64, bool) {
+	a, b := c.Reports[name], c.Reports[baseline]
+	if a == nil || b == nil || b.Runtime <= 0 {
+		return 0, false
+	}
+	return 100 * float64(a.Runtime) / float64(b.Runtime), true
+}
+
+// MeanRuntime averages an algorithm's runtime over the cases where it has a
+// result.
+func MeanRuntime(cases []*CaseResult, name string) (time.Duration, int) {
+	var sum time.Duration
+	n := 0
+	for _, c := range cases {
+		if rep := c.Reports[name]; rep != nil {
+			sum += rep.Runtime
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / time.Duration(n), n
+}

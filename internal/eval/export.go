@@ -1,0 +1,129 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Metric renders one algorithm's cell for one case; ok=false produces an
+// empty cell (the algorithm had no result for the case).
+type Metric func(c *CaseResult, algorithm string) (string, bool)
+
+// WriteCSV emits one row per case and one column per algorithm under a
+// header, using metric for the cells — the machine-readable form of a
+// figure panel, ready for plotting.
+func WriteCSV(w io.Writer, cases []*CaseResult, algorithms []string, metric Metric) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"case"}, algorithms...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("eval: write csv header: %w", err)
+	}
+	for _, c := range cases {
+		row := make([]string, 0, len(algorithms)+1)
+		row = append(row, c.Label)
+		for _, alg := range algorithms {
+			cell, ok := metric(c, alg)
+			if !ok {
+				cell = ""
+			}
+			row = append(row, cell)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("eval: write csv row %s: %w", c.Label, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+// MetricProgBox renders min/q1/median/q3/max (semicolon-separated) — the
+// box-plot panels (a).
+func MetricProgBox() Metric {
+	return func(c *CaseResult, alg string) (string, bool) {
+		box, ok := c.ProgBox(alg)
+		if !ok {
+			return "", false
+		}
+		return fmt.Sprintf("%g;%g;%g;%g;%g", box.Min, box.Q1, box.Median, box.Q3, box.Max), true
+	}
+}
+
+// MetricTotalProgPct renders total programmability as a percentage of the
+// baseline algorithm — the (b) panels.
+func MetricTotalProgPct(baseline string) Metric {
+	return func(c *CaseResult, alg string) (string, bool) {
+		pct, ok := c.TotalProgPctOf(alg, baseline)
+		if !ok {
+			return "", false
+		}
+		return formatFloat(pct), true
+	}
+}
+
+// MetricRecoveredFlowPct renders the (c) panels.
+func MetricRecoveredFlowPct() Metric {
+	return func(c *CaseResult, alg string) (string, bool) {
+		pct, ok := c.RecoveredFlowPct(alg)
+		if !ok {
+			return "", false
+		}
+		return formatFloat(pct), true
+	}
+}
+
+// MetricRecoveredSwitchPct renders the (d) panels.
+func MetricRecoveredSwitchPct() Metric {
+	return func(c *CaseResult, alg string) (string, bool) {
+		pct, ok := c.RecoveredSwitchPct(alg)
+		if !ok {
+			return "", false
+		}
+		return formatFloat(pct), true
+	}
+}
+
+// MetricControllerLoad renders per-controller used/residual pairs
+// (semicolon-separated) — the (e) panels.
+func MetricControllerLoad() Metric {
+	return func(c *CaseResult, alg string) (string, bool) {
+		rep := c.Report(alg)
+		if rep == nil {
+			return "", false
+		}
+		out := ""
+		for jj, load := range rep.ControllerLoad {
+			if jj > 0 {
+				out += ";"
+			}
+			out += fmt.Sprintf("%d/%d", load, c.Instance.Problem.Rest[jj])
+		}
+		return out, true
+	}
+}
+
+// MetricPerFlowOverhead renders the (d)/(f) overhead panels in ms.
+func MetricPerFlowOverhead() Metric {
+	return func(c *CaseResult, alg string) (string, bool) {
+		ms, ok := c.PerFlowOverheadMs(alg)
+		if !ok {
+			return "", false
+		}
+		return formatFloat(ms), true
+	}
+}
+
+// MetricRuntimeMicros renders computation time in microseconds (Fig. 7's
+// ingredient).
+func MetricRuntimeMicros() Metric {
+	return func(c *CaseResult, alg string) (string, bool) {
+		rep := c.Report(alg)
+		if rep == nil {
+			return "", false
+		}
+		return strconv.FormatInt(rep.Runtime.Microseconds(), 10), true
+	}
+}

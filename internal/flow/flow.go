@@ -1,0 +1,212 @@
+// Package flow generates the traffic workload of the paper's evaluation:
+// one flow per pair of nodes, forwarded on a shortest path, together with the
+// path-programmability coefficients (β_i^l, p_i^l, p̄_i^l) that drive the
+// FMSSM optimization.
+package flow
+
+import (
+	"fmt"
+
+	"pmedic/internal/graphalg"
+	"pmedic/internal/topo"
+)
+
+// ID identifies a flow within a Set; IDs are dense 0..L-1 in deterministic
+// (src, dst) lexicographic order.
+type ID int
+
+// Stop is one switch on a flow's forwarding path together with the flow's
+// path-count coefficient there: PathCount is p_i^l, the number of distinct
+// simple paths from the switch to the flow's destination within the counting
+// bound. The switch can reroute the flow (β_i^l = 1) iff PathCount >= 2.
+type Stop struct {
+	Node      topo.NodeID
+	PathCount int
+}
+
+// Programmable reports β_i^l for this stop.
+func (s Stop) Programmable() bool { return s.PathCount >= 2 }
+
+// PBar returns p̄_i^l = β_i^l * p_i^l.
+func (s Stop) PBar() int {
+	if s.PathCount >= 2 {
+		return s.PathCount
+	}
+	return 0
+}
+
+// Flow is a unidirectional traffic flow with its forwarding path and the
+// programmability coefficients at every path switch except the destination
+// (the destination cannot reroute the flow).
+type Flow struct {
+	ID       ID
+	Src, Dst topo.NodeID
+	Path     []topo.NodeID
+	Stops    []Stop
+}
+
+// Traverses reports whether the flow's path includes node v.
+func (f *Flow) Traverses(v topo.NodeID) bool {
+	for _, n := range f.Path {
+		if n == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Options tunes workload generation. The zero value is replaced by Defaults.
+type Options struct {
+	// Unordered generates one flow per unordered node pair instead of the
+	// default one per ordered pair. The paper's Table III flow-count
+	// arithmetic is consistent with ordered pairs (600 flows on 25 nodes).
+	Unordered bool
+	// Slack bounds path counting: p_i^l counts simple paths from i to the
+	// destination no longer than (hop distance + Slack). Default 1, which
+	// matches the paths enumerated in the paper's Fig. 1 example.
+	Slack int
+	// Limit caps each p_i^l (0 = default 64). Counting is exact below the
+	// cap; the cap prevents exponential blow-up on dense graphs.
+	Limit int
+}
+
+const (
+	defaultSlack = 1
+	defaultLimit = 12
+)
+
+func (o Options) withDefaults() Options {
+	if o.Slack == 0 {
+		o.Slack = defaultSlack
+	}
+	if o.Limit == 0 {
+		o.Limit = defaultLimit
+	}
+	return o
+}
+
+// Set is a generated workload: all flows plus per-switch traversal counts.
+type Set struct {
+	Flows []Flow
+	// counts[i] is γ_i: the number of flows whose path includes switch i.
+	counts []int
+	opts   Options
+}
+
+// Generate routes one flow per node pair on a hop-primary/delay-secondary
+// shortest path and computes programmability coefficients for every stop.
+func Generate(g *topo.Graph, opts Options) (*Set, error) {
+	opts = opts.withDefaults()
+	if opts.Slack < 0 {
+		return nil, fmt.Errorf("flow: negative slack %d", opts.Slack)
+	}
+	delay, err := g.EdgeDelaysMs()
+	if err != nil {
+		return nil, fmt.Errorf("flow: edge delays: %w", err)
+	}
+	routeWeight := graphalg.HopMajor(delay)
+
+	n := g.NumNodes()
+	s := &Set{counts: make([]int, n), opts: opts}
+
+	// Hop distances from every destination, reused for both routing slack
+	// bounds and path counting.
+	hopsTo := make([][]int, n)
+	for v := 0; v < n; v++ {
+		hopsTo[v] = graphalg.HopDistances(g, topo.NodeID(v))
+	}
+	// Memoize path counts: (node, dst) pairs repeat across flows sharing a
+	// destination.
+	countMemo := make(map[[2]topo.NodeID]int, n*n)
+	countPaths := func(at, dst topo.NodeID) int {
+		key := [2]topo.NodeID{at, dst}
+		if c, ok := countMemo[key]; ok {
+			return c
+		}
+		maxHops := hopsTo[dst][at] + opts.Slack
+		c := graphalg.CountSimplePaths(g, at, dst, maxHops, opts.Limit)
+		countMemo[key] = c
+		return c
+	}
+
+	for src := 0; src < n; src++ {
+		tree, err := graphalg.Dijkstra(g, topo.NodeID(src), routeWeight)
+		if err != nil {
+			return nil, fmt.Errorf("flow: route from %d: %w", src, err)
+		}
+		for dst := 0; dst < n; dst++ {
+			if dst == src {
+				continue
+			}
+			if opts.Unordered && dst < src {
+				continue
+			}
+			path, err := tree.PathTo(topo.NodeID(dst))
+			if err != nil {
+				return nil, fmt.Errorf("flow: route %d->%d: %w", src, dst, err)
+			}
+			f := Flow{
+				ID:   ID(len(s.Flows)),
+				Src:  topo.NodeID(src),
+				Dst:  topo.NodeID(dst),
+				Path: path,
+			}
+			f.Stops = make([]Stop, 0, len(path)-1)
+			for _, v := range path[:len(path)-1] {
+				f.Stops = append(f.Stops, Stop{
+					Node:      v,
+					PathCount: countPaths(v, topo.NodeID(dst)),
+				})
+			}
+			for _, v := range path {
+				s.counts[v]++
+			}
+			s.Flows = append(s.Flows, f)
+		}
+	}
+	return s, nil
+}
+
+// Len returns the number of flows.
+func (s *Set) Len() int { return len(s.Flows) }
+
+// Options returns the (defaulted) options the set was generated with.
+func (s *Set) Options() Options { return s.opts }
+
+// SwitchFlowCount returns γ_i, the number of flows traversing switch i
+// (including as source or destination), or 0 for out-of-range IDs.
+func (s *Set) SwitchFlowCount(i topo.NodeID) int {
+	if i < 0 || int(i) >= len(s.counts) {
+		return 0
+	}
+	return s.counts[int(i)]
+}
+
+// TotalTraversals returns Σ_i γ_i, the summed per-switch flow counts
+// (each flow contributes its path length in nodes).
+func (s *Set) TotalTraversals() int {
+	var total int
+	for _, c := range s.counts {
+		total += c
+	}
+	return total
+}
+
+// FlowsThrough returns the IDs of flows whose path includes any of the given
+// switches, in ascending flow order.
+func (s *Set) FlowsThrough(switches []topo.NodeID) []ID {
+	mark := make(map[topo.NodeID]bool, len(switches))
+	for _, sw := range switches {
+		mark[sw] = true
+	}
+	var out []ID
+	for l := range s.Flows {
+		for _, v := range s.Flows[l].Path {
+			if mark[v] {
+				out = append(out, s.Flows[l].ID)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package graphalg
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"pmedic/internal/topo"
+)
+
+// KShortestPaths returns up to k loopless shortest paths from src to dst
+// under w, ordered by increasing weight (ties broken lexicographically by
+// node sequence), using Yen's algorithm on top of Dijkstra with node/edge
+// masking. It returns ErrNoPath when dst is unreachable.
+func KShortestPaths(g *topo.Graph, src, dst topo.NodeID, k int, w Weight) ([][]topo.NodeID, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	first, err := maskedShortest(g, src, dst, w, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	paths := [][]topo.NodeID{first}
+	var candidates []candidatePath
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		for spur := 0; spur < len(prev)-1; spur++ {
+			root := prev[:spur+1]
+			banEdges := make(map[[2]topo.NodeID]bool)
+			for _, p := range paths {
+				if len(p) > spur && samePrefix(p, root) {
+					banEdges[[2]topo.NodeID{p[spur], p[spur+1]}] = true
+				}
+			}
+			banNodes := make(map[topo.NodeID]bool, spur)
+			for _, v := range root[:len(root)-1] {
+				banNodes[v] = true
+			}
+			tail, err := maskedShortest(g, prev[spur], dst, w, banNodes, banEdges)
+			if err != nil {
+				continue
+			}
+			full := make([]topo.NodeID, 0, len(root)-1+len(tail))
+			full = append(full, root[:len(root)-1]...)
+			full = append(full, tail...)
+			candidates = appendCandidate(candidates, candidatePath{
+				nodes:  full,
+				weight: PathWeight(full, w),
+			})
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(i, j int) bool {
+			if candidates[i].weight != candidates[j].weight {
+				return candidates[i].weight < candidates[j].weight
+			}
+			return lessPath(candidates[i].nodes, candidates[j].nodes)
+		})
+		paths = append(paths, candidates[0].nodes)
+		candidates = candidates[1:]
+	}
+	return paths, nil
+}
+
+type candidatePath struct {
+	nodes  []topo.NodeID
+	weight float64
+}
+
+func appendCandidate(cands []candidatePath, c candidatePath) []candidatePath {
+	for _, prev := range cands {
+		if equalPath(prev.nodes, c.nodes) {
+			return cands
+		}
+	}
+	return append(cands, c)
+}
+
+func samePrefix(p, prefix []topo.NodeID) bool {
+	if len(p) < len(prefix) {
+		return false
+	}
+	for i, v := range prefix {
+		if p[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func equalPath(a, b []topo.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func lessPath(a, b []topo.NodeID) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// maskedShortest runs Dijkstra from src to dst skipping banned nodes and
+// banned directed edges, and returns the resulting node sequence.
+func maskedShortest(
+	g *topo.Graph,
+	src, dst topo.NodeID,
+	w Weight,
+	banNodes map[topo.NodeID]bool,
+	banEdges map[[2]topo.NodeID]bool,
+) ([]topo.NodeID, error) {
+	if banNodes[src] || banNodes[dst] {
+		return nil, fmt.Errorf("%w: endpoint banned", ErrNoPath)
+	}
+	n := g.NumNodes()
+	const unreached = -1.0
+	dist := make([]float64, n)
+	parent := make([]topo.NodeID, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = unreached
+		parent[i] = -1
+	}
+	dist[src] = 0
+	q := &pq{{node: src, dist: 0}}
+	heap.Init(q)
+	for q.Len() > 0 {
+		it, _ := heap.Pop(q).(item)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		if u == dst {
+			break
+		}
+		g.ForEachNeighbor(u, func(v topo.NodeID) {
+			if done[v] || banNodes[v] || banEdges[[2]topo.NodeID{u, v}] {
+				return
+			}
+			nd := dist[u] + w(u, v)
+			if dist[v] == unreached || nd < dist[v] {
+				dist[v] = nd
+				parent[v] = u
+				heap.Push(q, item{node: v, dist: nd})
+			}
+		})
+	}
+	if src != dst && !done[dst] {
+		return nil, fmt.Errorf("%w: %d -> %d", ErrNoPath, src, dst)
+	}
+	var rev []topo.NodeID
+	for v := dst; ; v = parent[v] {
+		rev = append(rev, v)
+		if v == src {
+			break
+		}
+		if parent[v] < 0 {
+			return nil, fmt.Errorf("%w: %d -> %d", ErrNoPath, src, dst)
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, nil
+}

@@ -1,0 +1,217 @@
+// Package lp implements a linear-programming solver: a dense revised primal
+// simplex with bounded variables, two phases (artificial-variable
+// feasibility, then optimality), Dantzig pricing with a Bland anti-cycling
+// fallback, and periodic basis refactorization.
+//
+// It is the bottom layer of the reproduction's GUROBI substitute; package
+// mip adds branch & bound for integer models on top of it.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense selects the optimization direction of a model.
+type Sense int
+
+// Model senses.
+const (
+	Minimize Sense = iota + 1
+	Maximize
+)
+
+// Op is a linear constraint's comparison operator.
+type Op int
+
+// Constraint operators.
+const (
+	LE Op = iota + 1 // Σ aᵢxᵢ ≤ b
+	GE               // Σ aᵢxᵢ ≥ b
+	EQ               // Σ aᵢxᵢ = b
+)
+
+// Term is one coefficient of a sparse constraint row.
+type Term struct {
+	Var   int
+	Coeff float64
+}
+
+// row is a stored constraint.
+type row struct {
+	terms []Term
+	op    Op
+	rhs   float64
+}
+
+// Model is a linear program under construction. Build it with AddVar and
+// AddRow, then call Solve. A Model may be solved repeatedly and mutated
+// between solves (branch & bound relies on SetBounds).
+type Model struct {
+	sense Sense
+	obj   []float64
+	lower []float64
+	upper []float64
+	names []string
+	rows  []row
+}
+
+// NewModel returns an empty model with the given sense.
+func NewModel(sense Sense) *Model {
+	return &Model{sense: sense}
+}
+
+// Model construction errors.
+var (
+	ErrBadBounds = errors.New("lp: lower bound exceeds upper bound")
+	ErrBadVar    = errors.New("lp: variable index out of range")
+)
+
+// AddVar appends a variable with bounds [lower, upper] (upper may be
+// math.Inf(1)) and the given objective coefficient, returning its index.
+func (m *Model) AddVar(lower, upper, objCoeff float64, name string) int {
+	m.lower = append(m.lower, lower)
+	m.upper = append(m.upper, upper)
+	m.obj = append(m.obj, objCoeff)
+	m.names = append(m.names, name)
+	return len(m.obj) - 1
+}
+
+// NumVars returns the number of variables.
+func (m *Model) NumVars() int { return len(m.obj) }
+
+// NumRows returns the number of constraints.
+func (m *Model) NumRows() int { return len(m.rows) }
+
+// VarName returns the name given at AddVar, or "" for out-of-range indices.
+func (m *Model) VarName(v int) string {
+	if v < 0 || v >= len(m.names) {
+		return ""
+	}
+	return m.names[v]
+}
+
+// SetBounds replaces variable v's bounds; used by branch & bound to fix
+// binaries.
+func (m *Model) SetBounds(v int, lower, upper float64) error {
+	if v < 0 || v >= len(m.obj) {
+		return fmt.Errorf("%w: %d", ErrBadVar, v)
+	}
+	if lower > upper {
+		return fmt.Errorf("%w: var %d: [%g, %g]", ErrBadBounds, v, lower, upper)
+	}
+	m.lower[v] = lower
+	m.upper[v] = upper
+	return nil
+}
+
+// Bounds returns variable v's current bounds.
+func (m *Model) Bounds(v int) (lower, upper float64, err error) {
+	if v < 0 || v >= len(m.obj) {
+		return 0, 0, fmt.Errorf("%w: %d", ErrBadVar, v)
+	}
+	return m.lower[v], m.upper[v], nil
+}
+
+// AddRow appends the constraint Σ terms op rhs. Terms may repeat a variable;
+// coefficients are summed.
+func (m *Model) AddRow(op Op, rhs float64, terms ...Term) error {
+	if op != LE && op != GE && op != EQ {
+		return fmt.Errorf("lp: invalid op %d", op)
+	}
+	for _, t := range terms {
+		if t.Var < 0 || t.Var >= len(m.obj) {
+			return fmt.Errorf("%w: %d", ErrBadVar, t.Var)
+		}
+	}
+	cp := make([]Term, len(terms))
+	copy(cp, terms)
+	m.rows = append(m.rows, row{terms: cp, op: op, rhs: rhs})
+	return nil
+}
+
+// Status is the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	// StatusOptimal: an optimal solution was found.
+	StatusOptimal Status = iota + 1
+	// StatusInfeasible: the constraints admit no solution.
+	StatusInfeasible
+	// StatusUnbounded: the objective is unbounded in the optimization
+	// direction.
+	StatusUnbounded
+	// StatusIterLimit: the iteration budget ran out before convergence.
+	StatusIterLimit
+)
+
+// String renders the status for logs and errors.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusIterLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("lp.Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of a successful or partially successful solve.
+type Solution struct {
+	Status    Status
+	Objective float64
+	X         []float64
+	// Duals holds one dual value (shadow price) per constraint row at
+	// optimality, in the model's sense: the objective's rate of change per
+	// unit of slack in the row's right-hand side. Nil unless StatusOptimal.
+	Duals []float64
+	Iters int
+}
+
+// Options tunes the solver. The zero value selects defaults.
+type Options struct {
+	// MaxIters bounds simplex iterations per phase (default 50 000).
+	MaxIters int
+	// Tol is the feasibility/optimality tolerance (default 1e-7).
+	Tol float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIters == 0 {
+		o.MaxIters = 50000
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-7
+	}
+	return o
+}
+
+// Solve optimizes the model with default options.
+func (m *Model) Solve() (*Solution, error) {
+	return m.SolveWith(Options{})
+}
+
+// SolveWith optimizes the model. The returned error is non-nil only for
+// malformed models or solver failures; infeasibility and unboundedness are
+// reported through Solution.Status.
+func (m *Model) SolveWith(opts Options) (*Solution, error) {
+	opts = opts.withDefaults()
+	for v := range m.obj {
+		if m.lower[v] > m.upper[v] {
+			// Trivially infeasible by bounds (branch & bound produces these).
+			return &Solution{Status: StatusInfeasible}, nil
+		}
+		if math.IsInf(m.lower[v], -1) {
+			return nil, fmt.Errorf("lp: var %d (%s): free and lower-unbounded variables are not supported", v, m.names[v])
+		}
+	}
+	s := newSimplex(m, opts)
+	return s.solve()
+}

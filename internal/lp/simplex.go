@@ -1,0 +1,595 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// varState tracks where a variable currently sits.
+type varState int8
+
+const (
+	atLower varState = iota
+	atUpper
+	inBasis
+)
+
+// column is a sparse constraint-matrix column.
+type column struct {
+	rows []int32
+	vals []float64
+}
+
+// simplex is a bounded-variable revised primal simplex over the expanded
+// (structural + slack + artificial) variable space.
+type simplex struct {
+	opts Options
+
+	m int // rows
+	n int // structural variables
+
+	cols   []column  // all columns, structural then slack then artificial
+	lower  []float64 // bounds per expanded variable
+	upper  []float64
+	costP2 []float64 // phase-2 (true, minimization) costs
+	costP1 []float64 // phase-1 costs (1 on artificials)
+	b      []float64 // right-hand sides
+
+	nArt     int
+	artStart int // first artificial variable index
+
+	basis        []int // variable in each basis position
+	state        []varState
+	xB           []float64 // values of basic variables by basis position
+	binv         [][]float64
+	refreshEvery int
+
+	maximize bool
+	iters    int
+}
+
+// newSimplex expands the model into computational form.
+func newSimplex(m *Model, opts Options) *simplex {
+	s := &simplex{
+		opts:         opts,
+		m:            len(m.rows),
+		n:            len(m.obj),
+		maximize:     m.sense == Maximize,
+		refreshEvery: 256,
+	}
+	// Structural columns.
+	s.cols = make([]column, s.n, s.n+2*s.m)
+	for i, r := range m.rows {
+		for _, t := range r.terms {
+			c := &s.cols[t.Var]
+			// Merge duplicate variable mentions within the same row.
+			merged := false
+			for k := len(c.rows) - 1; k >= 0; k-- {
+				if c.rows[k] == int32(i) {
+					c.vals[k] += t.Coeff
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				c.rows = append(c.rows, int32(i))
+				c.vals = append(c.vals, t.Coeff)
+			}
+		}
+	}
+	s.lower = append(s.lower, m.lower...)
+	s.upper = append(s.upper, m.upper...)
+	s.costP2 = make([]float64, s.n)
+	for v, c := range m.obj {
+		if s.maximize {
+			s.costP2[v] = -c
+		} else {
+			s.costP2[v] = c
+		}
+	}
+	s.b = make([]float64, s.m)
+	for i, r := range m.rows {
+		s.b[i] = r.rhs
+	}
+	// Slack columns: LE -> +slack in [0, inf); GE -> -slack in [0, inf);
+	// EQ -> none.
+	for i, r := range m.rows {
+		switch r.op {
+		case LE:
+			s.addCol(i, 1, 0, math.Inf(1), 0)
+		case GE:
+			s.addCol(i, -1, 0, math.Inf(1), 0)
+		case EQ:
+			// no slack
+		}
+	}
+	return s
+}
+
+// addCol appends a single-entry column and returns its index.
+func (s *simplex) addCol(row int, coeff, lo, hi, cost float64) int {
+	s.cols = append(s.cols, column{rows: []int32{int32(row)}, vals: []float64{coeff}})
+	s.lower = append(s.lower, lo)
+	s.upper = append(s.upper, hi)
+	s.costP2 = append(s.costP2, cost)
+	return len(s.cols) - 1
+}
+
+// errNumerical reports unrecoverable numerical trouble.
+var errNumerical = errors.New("lp: numerical failure")
+
+func (s *simplex) solve() (*Solution, error) {
+	// Place nonbasic variables at their finite lower bound (validated by
+	// SolveWith) and compute the residual each row needs an artificial for.
+	resid := make([]float64, s.m)
+	copy(resid, s.b)
+	for v := range s.cols {
+		x := s.lower[v]
+		if x != 0 {
+			for k, r := range s.cols[v].rows {
+				resid[r] -= s.cols[v].vals[k] * x
+			}
+		}
+	}
+	// Artificial variables form the initial basis.
+	s.artStart = len(s.cols)
+	s.basis = make([]int, s.m)
+	s.xB = make([]float64, s.m)
+	s.state = make([]varState, s.artStart, s.artStart+s.m)
+	for i := 0; i < s.m; i++ {
+		coeff := 1.0
+		if resid[i] < 0 {
+			coeff = -1.0
+		}
+		v := s.addCol(i, coeff, 0, math.Inf(1), 0)
+		s.basis[i] = v
+		s.state = append(s.state, inBasis)
+		s.xB[i] = math.Abs(resid[i])
+	}
+	s.nArt = s.m
+	s.costP1 = make([]float64, len(s.cols))
+	for v := s.artStart; v < len(s.cols); v++ {
+		s.costP1[v] = 1
+	}
+	if err := s.refactorize(); err != nil {
+		return nil, err
+	}
+
+	// Phase 1.
+	status, err := s.iterate(s.costP1)
+	if err != nil {
+		return nil, err
+	}
+	if status == StatusIterLimit {
+		return &Solution{Status: StatusIterLimit, Iters: s.iters}, nil
+	}
+	if s.phase1Objective() > s.opts.Tol*float64(1+s.m) {
+		return &Solution{Status: StatusInfeasible, Iters: s.iters}, nil
+	}
+	s.lockArtificials()
+
+	// Phase 2.
+	status, err = s.iterate(s.costP2)
+	if err != nil {
+		return nil, err
+	}
+	sol := &Solution{Status: status, Iters: s.iters}
+	if status == StatusOptimal || status == StatusIterLimit {
+		sol.X = s.extractX()
+		var obj float64
+		for v := 0; v < s.n; v++ {
+			obj += s.costP2[v] * sol.X[v]
+		}
+		if s.maximize {
+			obj = -obj
+		}
+		sol.Objective = obj
+	}
+	if status == StatusOptimal {
+		sol.Duals = s.duals()
+	}
+	return sol, nil
+}
+
+// duals computes y = c_B B⁻¹ under the phase-2 costs, converted back to the
+// model's sense.
+func (s *simplex) duals() []float64 {
+	y := make([]float64, s.m)
+	for i, v := range s.basis {
+		cb := s.costP2[v]
+		if cb == 0 {
+			continue
+		}
+		row := s.binv[i]
+		for j := 0; j < s.m; j++ {
+			y[j] += cb * row[j]
+		}
+	}
+	if s.maximize {
+		for j := range y {
+			y[j] = -y[j]
+		}
+	}
+	return y
+}
+
+func (s *simplex) phase1Objective() float64 {
+	var sum float64
+	for i, v := range s.basis {
+		if v >= s.artStart {
+			sum += s.xB[i]
+		}
+	}
+	for v := s.artStart; v < len(s.cols); v++ {
+		if s.state[v] == atUpper {
+			// Artificials have infinite upper bound, so this cannot happen;
+			// guarded for safety.
+			sum += s.upper[v]
+		}
+	}
+	return sum
+}
+
+// lockArtificials pins artificial variables to zero so phase 2 cannot use
+// them. Artificials still basic (at value ~0) are pivoted out when possible;
+// a row whose artificial cannot leave is linearly dependent and harmless.
+func (s *simplex) lockArtificials() {
+	for v := s.artStart; v < len(s.cols); v++ {
+		s.upper[v] = 0
+	}
+	pivoted := false
+	for i := 0; i < s.m; i++ {
+		if s.basis[i] < s.artStart {
+			continue
+		}
+		// Try to pivot the artificial out of basis position i.
+		art := s.basis[i]
+		for v := 0; v < s.artStart; v++ {
+			if s.state[v] == inBasis {
+				continue
+			}
+			alpha := s.ftranRow(i, v)
+			if math.Abs(alpha) > 1e-7 {
+				s.pivot(v, i, alpha)
+				s.state[art] = atLower
+				pivoted = true
+				break
+			}
+		}
+	}
+	if pivoted {
+		s.recomputeXB()
+	}
+}
+
+// ftranRow returns (B⁻¹ A_v)[i] without materializing the full direction.
+func (s *simplex) ftranRow(i, v int) float64 {
+	var sum float64
+	col := &s.cols[v]
+	for k, r := range col.rows {
+		sum += s.binv[i][r] * col.vals[k]
+	}
+	return sum
+}
+
+// ftran computes α = B⁻¹ A_v.
+func (s *simplex) ftran(v int, alpha []float64) {
+	for i := range alpha {
+		alpha[i] = 0
+	}
+	col := &s.cols[v]
+	for k, r := range col.rows {
+		c := col.vals[k]
+		row := int(r)
+		for i := 0; i < s.m; i++ {
+			alpha[i] += s.binv[i][row] * c
+		}
+	}
+}
+
+// iterate runs primal simplex on the given cost vector until optimal.
+func (s *simplex) iterate(cost []float64) (Status, error) {
+	y := make([]float64, s.m)
+	alpha := make([]float64, s.m)
+	sinceRefresh := 0
+	stall := 0
+	prevObj := math.Inf(1)
+	bland := false
+
+	for iter := 0; iter < s.opts.MaxIters; iter++ {
+		s.iters++
+		// Duals: y = c_B B⁻¹.
+		for j := 0; j < s.m; j++ {
+			y[j] = 0
+		}
+		for i, v := range s.basis {
+			cb := cost[v]
+			if cb == 0 {
+				continue
+			}
+			row := s.binv[i]
+			for j := 0; j < s.m; j++ {
+				y[j] += cb * row[j]
+			}
+		}
+		// Pricing.
+		entering := -1
+		var bestScore float64
+		enterDir := 1.0
+		for v := range s.cols {
+			if s.state[v] == inBasis || s.lower[v] == s.upper[v] {
+				continue
+			}
+			d := cost[v]
+			col := &s.cols[v]
+			for k, r := range col.rows {
+				d -= y[r] * col.vals[k]
+			}
+			var score float64
+			var dir float64
+			if s.state[v] == atLower && d < -s.opts.Tol {
+				score, dir = -d, 1
+			} else if s.state[v] == atUpper && d > s.opts.Tol {
+				score, dir = d, -1
+			} else {
+				continue
+			}
+			if bland {
+				entering, enterDir = v, dir
+				break
+			}
+			if score > bestScore {
+				bestScore, entering, enterDir = score, v, dir
+			}
+		}
+		if entering < 0 {
+			return StatusOptimal, nil
+		}
+
+		s.ftran(entering, alpha)
+		// Ratio test: the entering variable moves by enterDir * t, t >= 0;
+		// basic variable i moves by -enterDir * alpha[i] * t.
+		tMax := s.upper[entering] - s.lower[entering] // bound-flip distance
+		leaving := -1
+		leavingToUpper := false
+		const pivTol = 1e-9
+		for i := 0; i < s.m; i++ {
+			rate := -enterDir * alpha[i]
+			if rate < -pivTol { // basic decreases toward its lower bound
+				lb := s.lower[s.basis[i]]
+				t := (s.xB[i] - lb) / -rate
+				if t < tMax-1e-12 || (leaving >= 0 && bland && t <= tMax+1e-12 && s.basis[i] < s.basis[leaving]) {
+					tMax, leaving, leavingToUpper = t, i, false
+				}
+			} else if rate > pivTol { // basic increases toward its upper bound
+				ub := s.upper[s.basis[i]]
+				if math.IsInf(ub, 1) {
+					continue
+				}
+				t := (ub - s.xB[i]) / rate
+				if t < tMax-1e-12 || (leaving >= 0 && bland && t <= tMax+1e-12 && s.basis[i] < s.basis[leaving]) {
+					tMax, leaving, leavingToUpper = t, i, true
+				}
+			}
+		}
+		if math.IsInf(tMax, 1) {
+			return StatusUnbounded, nil
+		}
+		if tMax < 0 {
+			tMax = 0
+		}
+
+		// Apply the step to basic values.
+		for i := 0; i < s.m; i++ {
+			s.xB[i] -= enterDir * alpha[i] * tMax
+		}
+		if leaving < 0 {
+			// Bound flip: entering jumps to its other bound.
+			if s.state[entering] == atLower {
+				s.state[entering] = atUpper
+			} else {
+				s.state[entering] = atLower
+			}
+		} else {
+			if math.Abs(alpha[leaving]) < pivTol {
+				if err := s.refactorize(); err != nil {
+					return 0, err
+				}
+				continue
+			}
+			enterVal := s.lower[entering]
+			if s.state[entering] == atUpper {
+				enterVal = s.upper[entering]
+			}
+			enterVal += enterDir * tMax
+			leavingVar := s.basis[leaving]
+			s.pivot(entering, leaving, alpha[leaving])
+			if leavingToUpper {
+				s.state[leavingVar] = atUpper
+			} else {
+				s.state[leavingVar] = atLower
+			}
+			s.xB[leaving] = enterVal
+			sinceRefresh++
+		}
+
+		// Stall detection drives the Bland fallback.
+		obj := 0.0
+		for i, v := range s.basis {
+			obj += cost[v] * s.xB[i]
+		}
+		if obj < prevObj-1e-10 {
+			prevObj = obj
+			stall = 0
+			bland = false
+		} else {
+			stall++
+			if stall > 2*s.m+50 {
+				bland = true
+			}
+		}
+
+		if sinceRefresh >= s.refreshEvery {
+			if err := s.refactorize(); err != nil {
+				return 0, err
+			}
+			sinceRefresh = 0
+		}
+	}
+	return StatusIterLimit, nil
+}
+
+// pivot brings entering into basis position p (alphaP = (B⁻¹A_entering)[p]).
+// The caller is responsible for setting the leaving variable's bound state
+// and the new basic value xB[p].
+func (s *simplex) pivot(entering, p int, alphaP float64) {
+	s.basis[p] = entering
+	s.state[entering] = inBasis
+
+	// Update B⁻¹ by Gauss-Jordan on the entering direction. We recompute the
+	// direction's entries against the pre-pivot inverse row by row.
+	alpha := make([]float64, s.m)
+	s.ftranInto(entering, alpha)
+	pr := s.binv[p]
+	inv := 1 / alphaP
+	for j := 0; j < s.m; j++ {
+		pr[j] *= inv
+	}
+	for i := 0; i < s.m; i++ {
+		if i == p {
+			continue
+		}
+		f := alpha[i]
+		if f == 0 {
+			continue
+		}
+		ri := s.binv[i]
+		for j := 0; j < s.m; j++ {
+			ri[j] -= f * pr[j]
+		}
+	}
+}
+
+// ftranInto is ftran against the current inverse (helper for pivot, which
+// needs the direction before modifying binv).
+func (s *simplex) ftranInto(v int, alpha []float64) {
+	col := &s.cols[v]
+	for i := 0; i < s.m; i++ {
+		var sum float64
+		row := s.binv[i]
+		for k, r := range col.rows {
+			sum += row[r] * col.vals[k]
+		}
+		alpha[i] = sum
+	}
+}
+
+// refactorize rebuilds B⁻¹ from the basis columns by Gauss-Jordan with
+// partial pivoting and recomputes basic values.
+func (s *simplex) refactorize() error {
+	m := s.m
+	// Build the dense basis matrix.
+	bmat := make([][]float64, m)
+	for i := range bmat {
+		bmat[i] = make([]float64, 2*m)
+	}
+	for pos, v := range s.basis {
+		col := &s.cols[v]
+		for k, r := range col.rows {
+			bmat[r][pos] = col.vals[k]
+		}
+	}
+	for i := 0; i < m; i++ {
+		bmat[i][m+i] = 1
+	}
+	for c := 0; c < m; c++ {
+		// Partial pivot.
+		p := c
+		for r := c + 1; r < m; r++ {
+			if math.Abs(bmat[r][c]) > math.Abs(bmat[p][c]) {
+				p = r
+			}
+		}
+		if math.Abs(bmat[p][c]) < 1e-12 {
+			return fmt.Errorf("%w: singular basis at column %d", errNumerical, c)
+		}
+		bmat[c], bmat[p] = bmat[p], bmat[c]
+		inv := 1 / bmat[c][c]
+		for j := c; j < 2*m; j++ {
+			bmat[c][j] *= inv
+		}
+		for r := 0; r < m; r++ {
+			if r == c {
+				continue
+			}
+			f := bmat[r][c]
+			if f == 0 {
+				continue
+			}
+			for j := c; j < 2*m; j++ {
+				bmat[r][j] -= f * bmat[c][j]
+			}
+		}
+	}
+	if s.binv == nil {
+		s.binv = make([][]float64, m)
+		for i := range s.binv {
+			s.binv[i] = make([]float64, m)
+		}
+	}
+	for i := 0; i < m; i++ {
+		copy(s.binv[i], bmat[i][m:])
+	}
+	s.recomputeXB()
+	return nil
+}
+
+// recomputeXB recomputes basic values from nonbasic bounds: x_B = B⁻¹ (b − N x_N).
+func (s *simplex) recomputeXB() {
+	resid := make([]float64, s.m)
+	copy(resid, s.b)
+	for v := range s.cols {
+		if s.state[v] == inBasis {
+			continue
+		}
+		x := s.lower[v]
+		if s.state[v] == atUpper {
+			x = s.upper[v]
+		}
+		if x == 0 {
+			continue
+		}
+		col := &s.cols[v]
+		for k, r := range col.rows {
+			resid[r] -= col.vals[k] * x
+		}
+	}
+	for i := 0; i < s.m; i++ {
+		var sum float64
+		row := s.binv[i]
+		for j := 0; j < s.m; j++ {
+			sum += row[j] * resid[j]
+		}
+		s.xB[i] = sum
+	}
+}
+
+// extractX returns structural variable values.
+func (s *simplex) extractX() []float64 {
+	x := make([]float64, s.n)
+	for v := 0; v < s.n; v++ {
+		switch s.state[v] {
+		case atLower:
+			x[v] = s.lower[v]
+		case atUpper:
+			x[v] = s.upper[v]
+		}
+	}
+	for i, v := range s.basis {
+		if v < s.n {
+			x[v] = s.xB[i]
+		}
+	}
+	return x
+}

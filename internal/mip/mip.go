@@ -1,0 +1,462 @@
+// Package mip solves mixed-integer linear programs by LP-based branch &
+// bound: depth-first diving with most-fractional branching, LP bound
+// pruning, a root rounding heuristic, and wall-clock/node budgets. Together
+// with package lp it forms the reproduction's stand-in for the GUROBI solver
+// the paper uses for the Optimal comparator.
+package mip
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"pmedic/internal/lp"
+)
+
+// Model is a MIP under construction: a linear model plus integrality marks.
+type Model struct {
+	lpm     *lp.Model
+	sense   lp.Sense
+	integer []bool
+	objs    []float64
+	rows    []savedRow
+}
+
+type savedRow struct {
+	op    lp.Op
+	rhs   float64
+	terms []lp.Term
+}
+
+// NewModel returns an empty model with the given sense.
+func NewModel(sense lp.Sense) *Model {
+	return &Model{lpm: lp.NewModel(sense), sense: sense}
+}
+
+// AddVar appends a variable; integer marks it integral.
+func (m *Model) AddVar(lower, upper, obj float64, name string, integer bool) int {
+	v := m.lpm.AddVar(lower, upper, obj, name)
+	m.integer = append(m.integer, integer)
+	m.objs = append(m.objs, obj)
+	return v
+}
+
+// AddBinary appends a {0,1} variable.
+func (m *Model) AddBinary(obj float64, name string) int {
+	return m.AddVar(0, 1, obj, name, true)
+}
+
+// AddRow appends a linear constraint.
+func (m *Model) AddRow(op lp.Op, rhs float64, terms ...lp.Term) error {
+	if err := m.lpm.AddRow(op, rhs, terms...); err != nil {
+		return err
+	}
+	cp := make([]lp.Term, len(terms))
+	copy(cp, terms)
+	m.rows = append(m.rows, savedRow{op: op, rhs: rhs, terms: cp})
+	return nil
+}
+
+// NumVars returns the number of variables.
+func (m *Model) NumVars() int { return m.lpm.NumVars() }
+
+// SolveRelaxation solves the model's LP relaxation (integrality dropped)
+// with the current bounds, exposing the relaxation's solution and duals.
+func (m *Model) SolveRelaxation(opts lp.Options) (*lp.Solution, error) {
+	return m.lpm.SolveWith(opts)
+}
+
+// Status is a solve outcome.
+type Status int
+
+// Solve outcomes.
+const (
+	// StatusOptimal: the tree was exhausted; the incumbent is optimal.
+	StatusOptimal Status = iota + 1
+	// StatusFeasible: a budget ran out; the incumbent is feasible but not
+	// proved optimal.
+	StatusFeasible
+	// StatusInfeasible: the tree was exhausted without any integer-feasible
+	// solution.
+	StatusInfeasible
+	// StatusUnknown: a budget ran out before any integer-feasible solution
+	// was found.
+	StatusUnknown
+	// StatusUnbounded: the LP relaxation is unbounded.
+	StatusUnbounded
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusFeasible:
+		return "feasible"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnknown:
+		return "unknown"
+	case StatusUnbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("mip.Status(%d)", int(s))
+	}
+}
+
+// Result is the outcome of a Solve.
+type Result struct {
+	Status    Status
+	Objective float64
+	X         []float64
+	// Bound is the best proven bound on the optimum (an upper bound when
+	// maximizing); Gap is |Objective−Bound| relative to |Objective| when an
+	// incumbent exists.
+	Bound float64
+	Gap   float64
+	Nodes int
+	// Runtime is the wall-clock solve time.
+	Runtime time.Duration
+}
+
+// Options tunes the search; the zero value selects defaults.
+type Options struct {
+	// TimeLimit bounds wall-clock time (default: none).
+	TimeLimit time.Duration
+	// MaxNodes bounds explored nodes (default 1 000 000).
+	MaxNodes int
+	// IntTol is the integrality tolerance (default 1e-6).
+	IntTol float64
+	// Incumbent optionally warm-starts the search with a known point. It is
+	// validated against bounds, integrality, and rows; an infeasible warm
+	// start is silently ignored.
+	Incumbent []float64
+	// Heuristic, when set, is called on relaxation points (at the root and
+	// periodically during the search) to propose integer-feasible candidates.
+	// A nil return means no proposal; proposals are validated like Incumbent.
+	Heuristic func(relaxation []float64) []float64
+	// LP tunes the relaxation solver.
+	LP lp.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 1_000_000
+	}
+	if o.IntTol == 0 {
+		o.IntTol = 1e-6
+	}
+	return o
+}
+
+// ErrModel reports a malformed model.
+var ErrModel = errors.New("mip: invalid model")
+
+type node struct {
+	// fixes are (variable, lower, upper) bound overrides accumulated along
+	// the branch.
+	fixes []fix
+	bound float64 // parent LP bound (optimistic for this node)
+	depth int
+}
+
+type fix struct {
+	v      int
+	lo, hi float64
+}
+
+// Solve runs branch & bound.
+func (m *Model) Solve(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	nv := m.lpm.NumVars()
+	if nv == 0 {
+		return nil, fmt.Errorf("%w: no variables", ErrModel)
+	}
+	// Save original bounds to restore around node solves.
+	origLo := make([]float64, nv)
+	origHi := make([]float64, nv)
+	for v := 0; v < nv; v++ {
+		lo, hi, err := m.lpm.Bounds(v)
+		if err != nil {
+			return nil, err
+		}
+		origLo[v], origHi[v] = lo, hi
+	}
+	restore := func() {
+		for v := 0; v < nv; v++ {
+			// Original bounds are valid by construction.
+			_ = m.lpm.SetBounds(v, origLo[v], origHi[v])
+		}
+	}
+	defer restore()
+
+	res := &Result{Status: StatusUnknown}
+	better := func(a, b float64) bool { // is a better than b in model sense
+		if m.sense == lp.Maximize {
+			return a > b
+		}
+		return a < b
+	}
+	var incumbent []float64
+	incumbentObj := math.Inf(-1)
+	if m.sense == lp.Minimize {
+		incumbentObj = math.Inf(1)
+	}
+	accept := func(x []float64, obj float64) {
+		if incumbent == nil || better(obj, incumbentObj) {
+			incumbent = append([]float64(nil), x...)
+			incumbentObj = obj
+		}
+	}
+
+	expired := func() bool {
+		return (opts.TimeLimit > 0 && time.Since(start) > opts.TimeLimit) ||
+			res.Nodes >= opts.MaxNodes
+	}
+
+	if len(opts.Incumbent) == nv {
+		if obj, ok := m.checkPoint(opts.Incumbent, origLo, origHi, opts.IntTol); ok {
+			accept(opts.Incumbent, obj)
+		}
+	}
+
+	// DFS stack.
+	stack := []*node{{bound: infFor(m.sense)}}
+	var rootBound float64
+	rootBoundSet := false
+	limitHit := false
+
+	for len(stack) > 0 {
+		if expired() {
+			limitHit = true
+			break
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		// Bound pruning against the incumbent.
+		if incumbent != nil && !better(nd.bound, incumbentObj) {
+			continue
+		}
+		res.Nodes++
+
+		// Apply node bounds.
+		for v := 0; v < nv; v++ {
+			_ = m.lpm.SetBounds(v, origLo[v], origHi[v])
+		}
+		infeasibleFix := false
+		for _, f := range nd.fixes {
+			if f.lo > f.hi {
+				infeasibleFix = true
+				break
+			}
+			if err := m.lpm.SetBounds(f.v, f.lo, f.hi); err != nil {
+				infeasibleFix = true
+				break
+			}
+		}
+		if infeasibleFix {
+			continue
+		}
+		sol, err := m.lpm.SolveWith(opts.LP)
+		if err != nil {
+			return nil, fmt.Errorf("mip: node %d relaxation: %w", res.Nodes, err)
+		}
+		switch sol.Status {
+		case lp.StatusInfeasible:
+			continue
+		case lp.StatusUnbounded:
+			if nd.depth == 0 {
+				res.Status = StatusUnbounded
+				res.Runtime = time.Since(start)
+				return res, nil
+			}
+			continue
+		case lp.StatusIterLimit:
+			// Treat as unexplorable; keep going without its bound.
+			continue
+		}
+		if !rootBoundSet {
+			rootBound, rootBoundSet = sol.Objective, true
+		}
+		if incumbent != nil && !better(sol.Objective, incumbentObj) {
+			continue
+		}
+
+		// Find the most fractional integer variable.
+		branchVar := -1
+		worst := opts.IntTol
+		for v := 0; v < nv; v++ {
+			if !m.integer[v] {
+				continue
+			}
+			frac := math.Abs(sol.X[v] - math.Round(sol.X[v]))
+			if frac > worst {
+				worst = frac
+				branchVar = v
+			}
+		}
+		if branchVar < 0 {
+			// Integer feasible.
+			accept(sol.X, sol.Objective)
+			continue
+		}
+		if nd.depth == 0 || res.Nodes%64 == 0 {
+			// Rounding + caller-supplied repair heuristics: cheap incumbents
+			// to enable pruning.
+			if x, obj, ok := m.roundHeuristic(sol.X, origLo, origHi, opts.IntTol); ok {
+				accept(x, obj)
+			}
+			if opts.Heuristic != nil {
+				if cand := opts.Heuristic(sol.X); len(cand) == nv {
+					if obj, ok := m.checkPoint(cand, origLo, origHi, opts.IntTol); ok {
+						accept(cand, obj)
+					}
+				}
+			}
+		}
+
+		floorV := math.Floor(sol.X[branchVar])
+		lo, hi, _ := m.lpm.Bounds(branchVar)
+		down := &node{
+			fixes: appendFix(nd.fixes, fix{branchVar, lo, floorV}),
+			bound: sol.Objective,
+			depth: nd.depth + 1,
+		}
+		up := &node{
+			fixes: appendFix(nd.fixes, fix{branchVar, floorV + 1, hi}),
+			bound: sol.Objective,
+			depth: nd.depth + 1,
+		}
+		// Dive toward the nearer integer first (pushed last = popped first).
+		if sol.X[branchVar]-floorV < 0.5 {
+			stack = append(stack, up, down)
+		} else {
+			stack = append(stack, down, up)
+		}
+	}
+
+	res.Runtime = time.Since(start)
+	if incumbent != nil {
+		res.Objective = incumbentObj
+		res.X = incumbent
+		if limitHit {
+			res.Status = StatusFeasible
+			// The open-node bound: the best bound among unexplored nodes and
+			// the incumbent.
+			res.Bound = bestOpenBound(stack, incumbentObj, m.sense)
+			if rootBoundSet && better(res.Bound, rootBound) {
+				res.Bound = rootBound
+			}
+		} else {
+			res.Status = StatusOptimal
+			res.Bound = incumbentObj
+		}
+		if res.Objective != 0 {
+			res.Gap = math.Abs(res.Objective-res.Bound) / math.Abs(res.Objective)
+		}
+		return res, nil
+	}
+	if limitHit {
+		res.Status = StatusUnknown
+	} else {
+		res.Status = StatusInfeasible
+	}
+	if rootBoundSet {
+		res.Bound = rootBound
+	}
+	return res, nil
+}
+
+func infFor(s lp.Sense) float64 {
+	if s == lp.Maximize {
+		return math.Inf(1)
+	}
+	return math.Inf(-1)
+}
+
+func bestOpenBound(open []*node, incumbent float64, s lp.Sense) float64 {
+	best := incumbent
+	for _, nd := range open {
+		if s == lp.Maximize && nd.bound > best {
+			best = nd.bound
+		}
+		if s == lp.Minimize && nd.bound < best {
+			best = nd.bound
+		}
+	}
+	return best
+}
+
+func appendFix(fs []fix, f fix) []fix {
+	out := make([]fix, len(fs), len(fs)+1)
+	copy(out, fs)
+	// Merge with an existing fix of the same variable (tighten).
+	for i := range out {
+		if out[i].v == f.v {
+			out[i].lo = math.Max(out[i].lo, f.lo)
+			out[i].hi = math.Min(out[i].hi, f.hi)
+			return out
+		}
+	}
+	return append(out, f)
+}
+
+// roundHeuristic rounds the relaxation point to the nearest integers,
+// clamps to bounds, and accepts it if all rows hold. It returns the point
+// and its objective value.
+func (m *Model) roundHeuristic(x []float64, lo, hi []float64, tol float64) ([]float64, float64, bool) {
+	nv := len(x)
+	cand := make([]float64, nv)
+	for v := 0; v < nv; v++ {
+		cand[v] = x[v]
+		if m.integer[v] {
+			cand[v] = math.Round(x[v])
+		}
+		cand[v] = math.Max(lo[v], math.Min(hi[v], cand[v]))
+	}
+	obj, ok := m.checkPoint(cand, lo, hi, tol)
+	if !ok {
+		return nil, 0, false
+	}
+	return cand, obj, true
+}
+
+// checkPoint verifies a point against bounds, integrality, and all rows, and
+// returns its objective value.
+func (m *Model) checkPoint(x []float64, lo, hi []float64, tol float64) (float64, bool) {
+	for v := range x {
+		if x[v] < lo[v]-1e-7 || x[v] > hi[v]+1e-7 {
+			return 0, false
+		}
+		if m.integer[v] && math.Abs(x[v]-math.Round(x[v])) > tol {
+			return 0, false
+		}
+	}
+	for _, r := range m.rows {
+		val := 0.0
+		for _, t := range r.terms {
+			val += t.Coeff * x[t.Var]
+		}
+		switch r.op {
+		case lp.LE:
+			if val > r.rhs+1e-7 {
+				return 0, false
+			}
+		case lp.GE:
+			if val < r.rhs-1e-7 {
+				return 0, false
+			}
+		case lp.EQ:
+			if math.Abs(val-r.rhs) > 1e-7 {
+				return 0, false
+			}
+		}
+	}
+	obj := 0.0
+	for v := range x {
+		obj += m.objs[v] * x[v]
+	}
+	return obj, true
+}

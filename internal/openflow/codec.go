@@ -1,0 +1,266 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Codec errors.
+var (
+	ErrBadVersion  = errors.New("openflow: unsupported version")
+	ErrBadType     = errors.New("openflow: unknown message type")
+	ErrTruncated   = errors.New("openflow: truncated message")
+	ErrTooLong     = errors.New("openflow: message exceeds maximum length")
+	ErrBadEncoding = errors.New("openflow: malformed body")
+)
+
+// MaxMessageLen bounds a single message on the wire (the uint16 length field
+// caps it anyway; this constant documents it and guards encoders).
+const MaxMessageLen = 1<<16 - 1
+
+var byteOrder = binary.BigEndian
+
+// Encode serializes msg under a header carrying xid.
+func Encode(msg Message, xid uint32) ([]byte, error) {
+	body, err := encodeBody(msg)
+	if err != nil {
+		return nil, err
+	}
+	total := HeaderLen + len(body)
+	if total > MaxMessageLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLong, total)
+	}
+	buf := make([]byte, total)
+	buf[0] = Version
+	buf[1] = uint8(msg.MsgType())
+	byteOrder.PutUint16(buf[2:4], uint16(total))
+	byteOrder.PutUint32(buf[4:8], xid)
+	copy(buf[HeaderLen:], body)
+	return buf, nil
+}
+
+func encodeBody(msg Message) ([]byte, error) {
+	switch m := msg.(type) {
+	case Hello, FeaturesRequest, BarrierRequest, BarrierReply:
+		return nil, nil
+	case Echo:
+		return append([]byte(nil), m.Data...), nil
+	case FeaturesReply:
+		b := make([]byte, 10)
+		byteOrder.PutUint64(b[0:8], m.DatapathID)
+		b[8] = m.NumTables
+		if m.Hybrid {
+			b[9] = 1
+		}
+		return b, nil
+	case FlowMod:
+		b := make([]byte, 1+2+12+4)
+		b[0] = uint8(m.Command)
+		byteOrder.PutUint16(b[1:3], m.Priority)
+		putMatch(b[3:15], m.Match)
+		byteOrder.PutUint32(b[15:19], m.NextHop)
+		return b, nil
+	case PacketIn:
+		b := make([]byte, 4+1+12+len(m.Data))
+		byteOrder.PutUint32(b[0:4], m.BufferID)
+		b[4] = uint8(m.Reason)
+		putMatch(b[5:17], m.Match)
+		copy(b[17:], m.Data)
+		return b, nil
+	case PacketOut:
+		b := make([]byte, 4+4+len(m.Data))
+		byteOrder.PutUint32(b[0:4], m.BufferID)
+		byteOrder.PutUint32(b[4:8], m.NextHop)
+		copy(b[8:], m.Data)
+		return b, nil
+	case RoleRequest:
+		return encodeRole(uint32(m.Role), m.GenerationID), nil
+	case RoleReply:
+		return encodeRole(uint32(m.Role), m.GenerationID), nil
+	case ErrorMsg:
+		b := make([]byte, 2+len(m.Data))
+		byteOrder.PutUint16(b[0:2], m.Code)
+		copy(b[2:], m.Data)
+		return b, nil
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrBadType, msg)
+	}
+}
+
+func encodeRole(role uint32, gen uint64) []byte {
+	b := make([]byte, 12)
+	byteOrder.PutUint32(b[0:4], role)
+	byteOrder.PutUint64(b[4:12], gen)
+	return b
+}
+
+func putMatch(b []byte, m Match) {
+	byteOrder.PutUint32(b[0:4], m.FlowID)
+	byteOrder.PutUint32(b[4:8], m.Src)
+	byteOrder.PutUint32(b[8:12], m.Dst)
+}
+
+func getMatch(b []byte) Match {
+	return Match{
+		FlowID: byteOrder.Uint32(b[0:4]),
+		Src:    byteOrder.Uint32(b[4:8]),
+		Dst:    byteOrder.Uint32(b[8:12]),
+	}
+}
+
+// DecodeHeader parses the 8-byte header.
+func DecodeHeader(b []byte) (Header, error) {
+	if len(b) < HeaderLen {
+		return Header{}, fmt.Errorf("%w: header needs %d bytes, have %d", ErrTruncated, HeaderLen, len(b))
+	}
+	h := Header{
+		Version: b[0],
+		Type:    MsgType(b[1]),
+		Length:  byteOrder.Uint16(b[2:4]),
+		XID:     byteOrder.Uint32(b[4:8]),
+	}
+	if h.Version != Version {
+		return Header{}, fmt.Errorf("%w: %#x", ErrBadVersion, h.Version)
+	}
+	if int(h.Length) < HeaderLen {
+		return Header{}, fmt.Errorf("%w: declared length %d below header size", ErrBadEncoding, h.Length)
+	}
+	return h, nil
+}
+
+// Decode parses one full message (header + body) from b.
+func Decode(b []byte) (Message, Header, error) {
+	h, err := DecodeHeader(b)
+	if err != nil {
+		return nil, Header{}, err
+	}
+	if len(b) < int(h.Length) {
+		return nil, Header{}, fmt.Errorf("%w: declared %d bytes, have %d", ErrTruncated, h.Length, len(b))
+	}
+	body := b[HeaderLen:h.Length]
+	msg, err := decodeBody(h.Type, body)
+	if err != nil {
+		return nil, Header{}, err
+	}
+	return msg, h, nil
+}
+
+func decodeBody(t MsgType, body []byte) (Message, error) {
+	need := func(n int) error {
+		if len(body) < n {
+			return fmt.Errorf("%w: %v body needs %d bytes, have %d", ErrTruncated, t, n, len(body))
+		}
+		return nil
+	}
+	switch t {
+	case TypeHello:
+		return Hello{}, nil
+	case TypeFeaturesRequest:
+		return FeaturesRequest{}, nil
+	case TypeBarrierRequest:
+		return BarrierRequest{}, nil
+	case TypeBarrierReply:
+		return BarrierReply{}, nil
+	case TypeEchoRequest, TypeEchoReply:
+		return Echo{Reply: t == TypeEchoReply, Data: append([]byte(nil), body...)}, nil
+	case TypeFeaturesReply:
+		if err := need(10); err != nil {
+			return nil, err
+		}
+		return FeaturesReply{
+			DatapathID: byteOrder.Uint64(body[0:8]),
+			NumTables:  body[8],
+			Hybrid:     body[9] == 1,
+		}, nil
+	case TypeFlowMod:
+		if err := need(19); err != nil {
+			return nil, err
+		}
+		cmd := FlowModCommand(body[0])
+		if cmd < FlowAdd || cmd > FlowDeleteAll {
+			return nil, fmt.Errorf("%w: flow-mod command %d", ErrBadEncoding, cmd)
+		}
+		return FlowMod{
+			Command:  cmd,
+			Priority: byteOrder.Uint16(body[1:3]),
+			Match:    getMatch(body[3:15]),
+			NextHop:  byteOrder.Uint32(body[15:19]),
+		}, nil
+	case TypePacketIn:
+		if err := need(17); err != nil {
+			return nil, err
+		}
+		return PacketIn{
+			BufferID: byteOrder.Uint32(body[0:4]),
+			Reason:   PacketInReason(body[4]),
+			Match:    getMatch(body[5:17]),
+			Data:     append([]byte(nil), body[17:]...),
+		}, nil
+	case TypePacketOut:
+		if err := need(8); err != nil {
+			return nil, err
+		}
+		return PacketOut{
+			BufferID: byteOrder.Uint32(body[0:4]),
+			NextHop:  byteOrder.Uint32(body[4:8]),
+			Data:     append([]byte(nil), body[8:]...),
+		}, nil
+	case TypeRoleRequest, TypeRoleReply:
+		if err := need(12); err != nil {
+			return nil, err
+		}
+		role := ControllerRole(byteOrder.Uint32(body[0:4]))
+		gen := byteOrder.Uint64(body[4:12])
+		if role < RoleEqual || role > RoleSlave {
+			return nil, fmt.Errorf("%w: role %d", ErrBadEncoding, role)
+		}
+		if t == TypeRoleRequest {
+			return RoleRequest{Role: role, GenerationID: gen}, nil
+		}
+		return RoleReply{Role: role, GenerationID: gen}, nil
+	case TypeError:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return ErrorMsg{
+			Code: byteOrder.Uint16(body[0:2]),
+			Data: append([]byte(nil), body[2:]...),
+		}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadType, uint8(t))
+	}
+}
+
+// ReadMessage reads exactly one message from r (blocking until a full
+// message arrives) and returns it with its header.
+func ReadMessage(r io.Reader) (Message, Header, error) {
+	var hb [HeaderLen]byte
+	if _, err := io.ReadFull(r, hb[:]); err != nil {
+		return nil, Header{}, err
+	}
+	h, err := DecodeHeader(hb[:])
+	if err != nil {
+		return nil, Header{}, err
+	}
+	body := make([]byte, int(h.Length)-HeaderLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, Header{}, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	msg, err := decodeBody(h.Type, body)
+	if err != nil {
+		return nil, Header{}, err
+	}
+	return msg, h, nil
+}
+
+// WriteMessage encodes msg under xid and writes it to w.
+func WriteMessage(w io.Writer, msg Message, xid uint32) error {
+	buf, err := Encode(msg, xid)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}

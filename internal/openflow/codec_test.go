@@ -1,0 +1,251 @@
+package openflow
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// roundTrip encodes and re-decodes a message, failing on any mismatch.
+func roundTrip(t *testing.T, msg Message, xid uint32) {
+	t.Helper()
+	buf, err := Encode(msg, xid)
+	if err != nil {
+		t.Fatalf("Encode(%T): %v", msg, err)
+	}
+	got, h, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode(%T): %v", msg, err)
+	}
+	if h.XID != xid {
+		t.Fatalf("xid = %d, want %d", h.XID, xid)
+	}
+	if h.Type != msg.MsgType() {
+		t.Fatalf("type = %v, want %v", h.Type, msg.MsgType())
+	}
+	if int(h.Length) != len(buf) {
+		t.Fatalf("length = %d, buffer %d", h.Length, len(buf))
+	}
+	// Normalize nil vs empty slices before the deep comparison.
+	if !reflect.DeepEqual(normalize(got), normalize(msg)) {
+		t.Fatalf("round trip: got %#v, want %#v", got, msg)
+	}
+}
+
+func normalize(m Message) Message {
+	switch v := m.(type) {
+	case Echo:
+		if len(v.Data) == 0 {
+			v.Data = nil
+		}
+		return v
+	case PacketIn:
+		if len(v.Data) == 0 {
+			v.Data = nil
+		}
+		return v
+	case PacketOut:
+		if len(v.Data) == 0 {
+			v.Data = nil
+		}
+		return v
+	case ErrorMsg:
+		if len(v.Data) == 0 {
+			v.Data = nil
+		}
+		return v
+	default:
+		return m
+	}
+}
+
+func TestRoundTripAllTypes(t *testing.T) {
+	match := Match{FlowID: 7, Src: 3, Dst: 21}
+	msgs := []Message{
+		Hello{},
+		Echo{Data: []byte("ping")},
+		Echo{Reply: true, Data: []byte("pong")},
+		Echo{},
+		FeaturesRequest{},
+		FeaturesReply{DatapathID: 0xdeadbeef01020304, NumTables: 2, Hybrid: true},
+		FeaturesReply{DatapathID: 1},
+		FlowMod{Command: FlowAdd, Priority: 100, Match: match, NextHop: 9},
+		FlowMod{Command: FlowDelete, Match: match},
+		FlowMod{Command: FlowDeleteAll},
+		PacketIn{BufferID: 5, Reason: ReasonNoMatch, Match: match, Data: []byte{1, 2, 3}},
+		PacketOut{BufferID: 5, NextHop: 2, Data: []byte{9}},
+		RoleRequest{Role: RoleMaster, GenerationID: 42},
+		RoleReply{Role: RoleSlave, GenerationID: 43},
+		BarrierRequest{},
+		BarrierReply{},
+		ErrorMsg{Code: 17, Data: []byte("bad flow mod")},
+	}
+	for i, m := range msgs {
+		roundTrip(t, m, uint32(i*13+1))
+	}
+}
+
+func TestRoundTripEchoQuick(t *testing.T) {
+	f := func(data []byte, xid uint32, reply bool) bool {
+		if len(data) > MaxMessageLen-HeaderLen {
+			data = data[:MaxMessageLen-HeaderLen]
+		}
+		msg := Echo{Reply: reply, Data: data}
+		buf, err := Encode(msg, xid)
+		if err != nil {
+			return false
+		}
+		got, h, err := Decode(buf)
+		if err != nil || h.XID != xid {
+			return false
+		}
+		e, ok := got.(Echo)
+		return ok && e.Reply == reply && bytes.Equal(e.Data, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripFlowModQuick(t *testing.T) {
+	f := func(prio uint16, flowID, src, dst, nh uint32, cmdSel uint8) bool {
+		cmd := FlowModCommand(cmdSel%3) + FlowAdd
+		msg := FlowMod{
+			Command:  cmd,
+			Priority: prio,
+			Match:    Match{FlowID: flowID, Src: src, Dst: dst},
+			NextHop:  nh,
+		}
+		buf, err := Encode(msg, 1)
+		if err != nil {
+			return false
+		}
+		got, _, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		fm, ok := got.(FlowMod)
+		return ok && fm == msg
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsBadVersion(t *testing.T) {
+	buf, err := Encode(Hello{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 0x01
+	if _, _, err := Decode(buf); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("error = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestDecodeRejectsUnknownType(t *testing.T) {
+	buf, err := Encode(Hello{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[1] = 0xEE
+	if _, _, err := Decode(buf); !errors.Is(err, ErrBadType) {
+		t.Fatalf("error = %v, want ErrBadType", err)
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	buf, err := Encode(FlowMod{Command: FlowAdd, Match: Match{FlowID: 1}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := Decode(buf[:cut]); err == nil {
+			t.Fatalf("Decode accepted a %d-byte prefix of a %d-byte message", cut, len(buf))
+		}
+	}
+}
+
+func TestDecodeRejectsBadFlowModCommand(t *testing.T) {
+	buf, err := Encode(FlowMod{Command: FlowAdd, Match: Match{}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[HeaderLen] = 99
+	if _, _, err := Decode(buf); !errors.Is(err, ErrBadEncoding) {
+		t.Fatalf("error = %v, want ErrBadEncoding", err)
+	}
+}
+
+func TestDecodeRejectsBadRole(t *testing.T) {
+	buf, err := Encode(RoleRequest{Role: RoleMaster}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byteOrder.PutUint32(buf[HeaderLen:], 77)
+	if _, _, err := Decode(buf); !errors.Is(err, ErrBadEncoding) {
+		t.Fatalf("error = %v, want ErrBadEncoding", err)
+	}
+}
+
+func TestDecodeDeclaredLengthBelowHeader(t *testing.T) {
+	buf, err := Encode(Hello{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byteOrder.PutUint16(buf[2:4], 3)
+	if _, _, err := Decode(buf); !errors.Is(err, ErrBadEncoding) {
+		t.Fatalf("error = %v, want ErrBadEncoding", err)
+	}
+}
+
+func TestEncodeRejectsOversized(t *testing.T) {
+	big := Echo{Data: make([]byte, MaxMessageLen)}
+	if _, err := Encode(big, 1); !errors.Is(err, ErrTooLong) {
+		t.Fatalf("error = %v, want ErrTooLong", err)
+	}
+}
+
+func TestReadMessageStream(t *testing.T) {
+	var stream bytes.Buffer
+	want := []Message{
+		Hello{},
+		FlowMod{Command: FlowAdd, Priority: 9, Match: Match{FlowID: 4, Src: 1, Dst: 2}, NextHop: 3},
+		Echo{Data: []byte("x")},
+		BarrierRequest{},
+	}
+	for i, m := range want {
+		if err := WriteMessage(&stream, m, uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, wantMsg := range want {
+		got, h, err := ReadMessage(&stream)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if h.XID != uint32(i) {
+			t.Fatalf("message %d xid = %d", i, h.XID)
+		}
+		if !reflect.DeepEqual(normalize(got), normalize(wantMsg)) {
+			t.Fatalf("message %d: got %#v want %#v", i, got, wantMsg)
+		}
+	}
+}
+
+func TestDecodeMutatedBytesNeverPanics(t *testing.T) {
+	seed, err := Encode(PacketIn{BufferID: 1, Reason: ReasonNoMatch, Match: Match{FlowID: 2}, Data: []byte("abc")}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < len(seed); pos++ {
+		for _, val := range []byte{0x00, 0x01, 0x7f, 0xff} {
+			mut := append([]byte(nil), seed...)
+			mut[pos] = val
+			// Must not panic; errors are fine.
+			_, _, _ = Decode(mut)
+		}
+	}
+}

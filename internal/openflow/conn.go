@@ -1,0 +1,134 @@
+package openflow
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Conn is a control channel over a byte stream: buffered framing, an XID
+// counter, and the opening Hello handshake. Reads and writes may proceed
+// concurrently from one goroutine each; Send may additionally be called from
+// multiple goroutines.
+type Conn struct {
+	raw io.Closer
+	r   *bufio.Reader
+
+	wmu sync.Mutex
+	w   *bufio.Writer
+
+	xid atomic.Uint32
+}
+
+// NewConn wraps a transport. For TCP, pass the *net.TCPConn (any
+// io.ReadWriteCloser works, e.g. net.Pipe ends in tests).
+func NewConn(rwc io.ReadWriteCloser) *Conn {
+	return &Conn{
+		raw: rwc,
+		r:   bufio.NewReader(rwc),
+		w:   bufio.NewWriter(rwc),
+	}
+}
+
+// Handshake exchanges Hello messages: it sends one and requires the peer's
+// first message to be one. Both sides of a channel call it; the send runs
+// concurrently with the read so the exchange also completes over fully
+// synchronous transports such as net.Pipe.
+func (c *Conn) Handshake() error {
+	sendErr := make(chan error, 1)
+	go func() {
+		_, err := c.Send(Hello{})
+		sendErr <- err
+	}()
+	msg, _, err := c.Recv()
+	if err != nil {
+		return fmt.Errorf("openflow: handshake recv: %w", err)
+	}
+	if _, ok := msg.(Hello); !ok {
+		return fmt.Errorf("openflow: handshake: got %v, want hello", msg.MsgType())
+	}
+	if err := <-sendErr; err != nil {
+		return fmt.Errorf("openflow: handshake send: %w", err)
+	}
+	return nil
+}
+
+// Send writes one message, allocating a fresh XID, and returns the XID used.
+func (c *Conn) Send(msg Message) (uint32, error) {
+	xid := c.xid.Add(1)
+	return xid, c.SendXID(msg, xid)
+}
+
+// SendXID writes one message under the caller's XID (for replies, which must
+// echo the request's XID).
+func (c *Conn) SendXID(msg Message, xid uint32) error {
+	buf, err := Encode(msg, xid)
+	if err != nil {
+		return err
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.w.Write(buf); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// Recv blocks for the next message.
+func (c *Conn) Recv() (Message, Header, error) {
+	return ReadMessage(c.r)
+}
+
+// Close closes the underlying transport.
+func (c *Conn) Close() error { return c.raw.Close() }
+
+// Dial opens a control channel to addr over TCP and performs the handshake.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("openflow: dial %s: %w", addr, err)
+	}
+	c := NewConn(nc)
+	if err := c.Handshake(); err != nil {
+		_ = nc.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Listener accepts control channels.
+type Listener struct {
+	l net.Listener
+}
+
+// Listen starts a control-channel listener on addr (e.g. "127.0.0.1:0").
+func Listen(addr string) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("openflow: listen %s: %w", addr, err)
+	}
+	return &Listener{l: l}, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.l.Addr().String() }
+
+// Accept blocks for the next channel and performs the handshake.
+func (l *Listener) Accept() (*Conn, error) {
+	nc, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	c := NewConn(nc)
+	if err := c.Handshake(); err != nil {
+		_ = nc.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close stops the listener.
+func (l *Listener) Close() error { return l.l.Close() }

@@ -1,0 +1,162 @@
+package openflow
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHandshakeOverPipe(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() { defer wg.Done(); errs[0] = ca.Handshake() }()
+	go func() { defer wg.Done(); errs[1] = cb.Handshake() }()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("side %d: %v", i, err)
+		}
+	}
+	_ = ca.Close()
+	_ = cb.Close()
+}
+
+func TestSendRecvOverPipe(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer func() {
+		_ = ca.Close()
+		_ = cb.Close()
+	}()
+	want := FlowMod{Command: FlowAdd, Priority: 50, Match: Match{FlowID: 11, Src: 0, Dst: 24}, NextHop: 13}
+	done := make(chan error, 1)
+	go func() {
+		_, err := ca.Send(want)
+		done <- err
+	}()
+	got, h, err := cb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	fm, ok := got.(FlowMod)
+	if !ok || fm != want {
+		t.Fatalf("got %#v (xid %d)", got, h.XID)
+	}
+}
+
+func TestXIDsMonotone(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer func() {
+		_ = ca.Close()
+		_ = cb.Close()
+	}()
+	go func() {
+		for i := 0; i < 3; i++ {
+			if _, err := ca.Send(Hello{}); err != nil {
+				return
+			}
+		}
+	}()
+	var last uint32
+	for i := 0; i < 3; i++ {
+		_, h, err := cb.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.XID <= last {
+			t.Fatalf("xid %d not increasing past %d", h.XID, last)
+		}
+		last = h.XID
+	}
+}
+
+func TestTCPDialListen(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+
+	type result struct {
+		conn *Conn
+		err  error
+	}
+	acceptCh := make(chan result, 1)
+	go func() {
+		c, err := l.Accept()
+		acceptCh <- result{c, err}
+	}()
+
+	client, err := Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+
+	srv := <-acceptCh
+	if srv.err != nil {
+		t.Fatal(srv.err)
+	}
+	defer func() { _ = srv.conn.Close() }()
+
+	// Echo request/reply with matching XIDs across real TCP.
+	xid, err := client.Send(Echo{Data: []byte("alive?")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, h, err := srv.conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, ok := msg.(Echo)
+	if !ok || req.Reply {
+		t.Fatalf("server got %#v", msg)
+	}
+	if err := srv.conn.SendXID(Echo{Reply: true, Data: req.Data}, h.XID); err != nil {
+		t.Fatal(err)
+	}
+	reply, rh, err := client.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.XID != xid {
+		t.Fatalf("reply xid = %d, want %d", rh.XID, xid)
+	}
+	if rep, ok := reply.(Echo); !ok || !rep.Reply || string(rep.Data) != "alive?" {
+		t.Fatalf("reply = %#v", reply)
+	}
+}
+
+func TestHandshakeRejectsNonHello(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer func() {
+		_ = ca.Close()
+		_ = cb.Close()
+	}()
+	errCh := make(chan error, 1)
+	go func() { errCh <- ca.Handshake() }()
+	// Peer misbehaves: sends a BarrierRequest first.
+	if _, _, err := cb.Recv(); err != nil { // consume ca's hello
+		t.Fatal(err)
+	}
+	if _, err := cb.Send(BarrierRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("handshake accepted a non-hello first message")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("handshake did not finish")
+	}
+}

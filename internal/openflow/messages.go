@@ -1,0 +1,232 @@
+// Package openflow implements the control-channel wire protocol the
+// simulated switches and controllers speak: an OpenFlow-1.3-flavored message
+// set (hello/echo, features, flow-mod, packet-in/out, role, barrier, error)
+// with a binary codec and a TCP connection wrapper. The subset covers what
+// programmability recovery needs — installing and removing flow entries,
+// claiming the master role over a re-mapped switch, and liveness probing.
+package openflow
+
+import "fmt"
+
+// Version is the protocol version byte carried by every header (0x04 as in
+// OpenFlow 1.3, whose switch specification the paper cites).
+const Version uint8 = 0x04
+
+// MsgType discriminates message bodies.
+type MsgType uint8
+
+// Message types.
+const (
+	TypeHello MsgType = iota + 1
+	TypeError
+	TypeEchoRequest
+	TypeEchoReply
+	TypeFeaturesRequest
+	TypeFeaturesReply
+	TypePacketIn
+	TypePacketOut
+	TypeFlowMod
+	TypeRoleRequest
+	TypeRoleReply
+	TypeBarrierRequest
+	TypeBarrierReply
+)
+
+// String renders the message type for diagnostics.
+func (t MsgType) String() string {
+	switch t {
+	case TypeHello:
+		return "hello"
+	case TypeError:
+		return "error"
+	case TypeEchoRequest:
+		return "echo-request"
+	case TypeEchoReply:
+		return "echo-reply"
+	case TypeFeaturesRequest:
+		return "features-request"
+	case TypeFeaturesReply:
+		return "features-reply"
+	case TypePacketIn:
+		return "packet-in"
+	case TypePacketOut:
+		return "packet-out"
+	case TypeFlowMod:
+		return "flow-mod"
+	case TypeRoleRequest:
+		return "role-request"
+	case TypeRoleReply:
+		return "role-reply"
+	case TypeBarrierRequest:
+		return "barrier-request"
+	case TypeBarrierReply:
+		return "barrier-reply"
+	default:
+		return fmt.Sprintf("openflow.MsgType(%d)", uint8(t))
+	}
+}
+
+// Header precedes every message on the wire: 8 bytes, big-endian.
+type Header struct {
+	Version uint8
+	Type    MsgType
+	Length  uint16 // total message length including the header
+	XID     uint32
+}
+
+// HeaderLen is the encoded header size in bytes.
+const HeaderLen = 4 + 4
+
+// Message is any body that can ride under a Header.
+type Message interface {
+	// MsgType identifies the body's wire type.
+	MsgType() MsgType
+}
+
+// Hello opens a control channel; both sides send one.
+type Hello struct{}
+
+// MsgType implements Message.
+func (Hello) MsgType() MsgType { return TypeHello }
+
+// Echo is a liveness probe (request) or its mirror (reply).
+type Echo struct {
+	Reply bool
+	Data  []byte
+}
+
+// MsgType implements Message.
+func (e Echo) MsgType() MsgType {
+	if e.Reply {
+		return TypeEchoReply
+	}
+	return TypeEchoRequest
+}
+
+// FeaturesRequest asks a switch for its datapath description.
+type FeaturesRequest struct{}
+
+// MsgType implements Message.
+func (FeaturesRequest) MsgType() MsgType { return TypeFeaturesRequest }
+
+// FeaturesReply describes a switch.
+type FeaturesReply struct {
+	DatapathID uint64
+	NumTables  uint8
+	// Hybrid reports the legacy-fallthrough capability of high-end switches
+	// (the Brocade MLX-8-style OpenFlow/OSPF pipeline the paper relies on).
+	Hybrid bool
+}
+
+// MsgType implements Message.
+func (FeaturesReply) MsgType() MsgType { return TypeFeaturesReply }
+
+// Match selects packets of one flow. The reproduction's flows are identified
+// end-to-end, so an exact ternary match suffices: flow ID plus endpoints.
+type Match struct {
+	FlowID uint32
+	Src    uint32
+	Dst    uint32
+}
+
+// FlowModCommand selects the flow-table operation.
+type FlowModCommand uint8
+
+// Flow-mod commands.
+const (
+	FlowAdd FlowModCommand = iota + 1
+	FlowDelete
+	FlowDeleteAll
+)
+
+// FlowMod installs or removes a flow entry: on match, forward to NextHop.
+type FlowMod struct {
+	Command  FlowModCommand
+	Priority uint16
+	Match    Match
+	NextHop  uint32
+}
+
+// MsgType implements Message.
+func (FlowMod) MsgType() MsgType { return TypeFlowMod }
+
+// PacketInReason explains why a switch punted a packet to its controller.
+type PacketInReason uint8
+
+// Packet-in reasons.
+const (
+	ReasonNoMatch PacketInReason = iota + 1
+	ReasonAction
+)
+
+// PacketIn punts a packet to the controller.
+type PacketIn struct {
+	BufferID uint32
+	Reason   PacketInReason
+	Match    Match
+	Data     []byte
+}
+
+// MsgType implements Message.
+func (PacketIn) MsgType() MsgType { return TypePacketIn }
+
+// PacketOut tells a switch to emit a (possibly buffered) packet.
+type PacketOut struct {
+	BufferID uint32
+	NextHop  uint32
+	Data     []byte
+}
+
+// MsgType implements Message.
+func (PacketOut) MsgType() MsgType { return TypePacketOut }
+
+// ControllerRole is the OpenFlow multi-controller role.
+type ControllerRole uint32
+
+// Controller roles.
+const (
+	RoleEqual ControllerRole = iota + 1
+	RoleMaster
+	RoleSlave
+)
+
+// RoleRequest claims or queries a controller role; recovery uses it to make
+// an active controller the master of a re-mapped offline switch.
+type RoleRequest struct {
+	Role         ControllerRole
+	GenerationID uint64
+}
+
+// MsgType implements Message.
+func (RoleRequest) MsgType() MsgType { return TypeRoleRequest }
+
+// RoleReply confirms the negotiated role.
+type RoleReply struct {
+	Role         ControllerRole
+	GenerationID uint64
+}
+
+// MsgType implements Message.
+func (RoleReply) MsgType() MsgType { return TypeRoleReply }
+
+// BarrierRequest forces ordering: the switch answers only after processing
+// everything received before it.
+type BarrierRequest struct{}
+
+// MsgType implements Message.
+func (BarrierRequest) MsgType() MsgType { return TypeBarrierRequest }
+
+// BarrierReply acknowledges a BarrierRequest.
+type BarrierReply struct{}
+
+// MsgType implements Message.
+func (BarrierReply) MsgType() MsgType { return TypeBarrierReply }
+
+// ErrorMsg reports a protocol failure.
+type ErrorMsg struct {
+	Code uint16
+	Data []byte
+}
+
+// MsgType implements Message.
+func (ErrorMsg) MsgType() MsgType { return TypeError }

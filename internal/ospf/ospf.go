@@ -1,0 +1,288 @@
+// Package ospf implements the legacy routing plane of the hybrid switches: a
+// simplified OSPF — router link-state advertisements, a flooded link-state
+// database with sequence-number freshness, the two-way connectivity check,
+// and per-router SPF yielding destination-based next-hop tables. These
+// tables are what a hybrid switch falls back to when a packet misses its
+// OpenFlow table (the paper's Fig. 2(c) pipeline).
+package ospf
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"pmedic/internal/topo"
+)
+
+// Link is one adjacency advertised by a router.
+type Link struct {
+	Neighbor topo.NodeID
+	Cost     float64
+}
+
+// LSA is a router link-state advertisement. Higher Seq supersedes lower.
+type LSA struct {
+	Router topo.NodeID
+	Seq    uint64
+	Links  []Link
+}
+
+// clone deep-copies the LSA so databases never share link slices.
+func (l LSA) clone() LSA {
+	links := make([]Link, len(l.Links))
+	copy(links, l.Links)
+	l.Links = links
+	return l
+}
+
+// Database is one router's view of the network: the freshest LSA it has
+// heard from every router.
+type Database struct {
+	lsas map[topo.NodeID]LSA
+}
+
+// NewDatabase returns an empty link-state database.
+func NewDatabase() *Database {
+	return &Database{lsas: make(map[topo.NodeID]LSA)}
+}
+
+// Install merges an LSA, keeping the freshest per router. It reports whether
+// the database changed (the flooding criterion).
+func (db *Database) Install(lsa LSA) bool {
+	cur, ok := db.lsas[lsa.Router]
+	if ok && cur.Seq >= lsa.Seq {
+		return false
+	}
+	db.lsas[lsa.Router] = lsa.clone()
+	return true
+}
+
+// Get returns the stored LSA for a router.
+func (db *Database) Get(router topo.NodeID) (LSA, bool) {
+	lsa, ok := db.lsas[router]
+	return lsa, ok
+}
+
+// Routers returns the routers present in the database, ascending.
+func (db *Database) Routers() []topo.NodeID {
+	out := make([]topo.NodeID, 0, len(db.lsas))
+	for r := range db.lsas {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of stored LSAs.
+func (db *Database) Len() int { return len(db.lsas) }
+
+// Originate builds the LSA a router should advertise for its current
+// adjacencies in g under weight w.
+func Originate(g *topo.Graph, router topo.NodeID, seq uint64, w func(a, b topo.NodeID) float64) LSA {
+	lsa := LSA{Router: router, Seq: seq}
+	for _, n := range g.Neighbors(router) {
+		lsa.Links = append(lsa.Links, Link{Neighbor: n, Cost: w(router, n)})
+	}
+	return lsa
+}
+
+// twoWay reports whether the database confirms the directed link a->b in
+// both directions (OSPF only routes over bidirectional adjacencies).
+func (db *Database) twoWay(a, b topo.NodeID) (float64, bool) {
+	la, ok := db.lsas[a]
+	if !ok {
+		return 0, false
+	}
+	var cost float64
+	found := false
+	for _, l := range la.Links {
+		if l.Neighbor == b {
+			cost, found = l.Cost, true
+			break
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	lb, ok := db.lsas[b]
+	if !ok {
+		return 0, false
+	}
+	for _, l := range lb.Links {
+		if l.Neighbor == a {
+			return cost, true
+		}
+	}
+	return 0, false
+}
+
+// Table is a destination-based legacy routing table: the classic result of
+// running SPF on the database.
+type Table struct {
+	Router  topo.NodeID
+	nextHop map[topo.NodeID]topo.NodeID
+	dist    map[topo.NodeID]float64
+}
+
+// NextHop returns the next hop toward dst, or -1 when dst is unreachable
+// (or is the router itself).
+func (t *Table) NextHop(dst topo.NodeID) topo.NodeID {
+	if nh, ok := t.nextHop[dst]; ok {
+		return nh
+	}
+	return -1
+}
+
+// DistanceTo returns the SPF cost to dst and whether dst is reachable.
+func (t *Table) DistanceTo(dst topo.NodeID) (float64, bool) {
+	d, ok := t.dist[dst]
+	return d, ok
+}
+
+// Destinations returns the reachable destinations, ascending.
+func (t *Table) Destinations() []topo.NodeID {
+	out := make([]topo.NodeID, 0, len(t.nextHop))
+	for d := range t.nextHop {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ErrUnknownRouter reports an SPF request for a router with no LSA.
+var ErrUnknownRouter = errors.New("ospf: unknown router")
+
+type spfItem struct {
+	node topo.NodeID
+	dist float64
+	seq  int
+}
+
+type spfHeap []spfItem
+
+func (h spfHeap) Len() int { return len(h) }
+func (h spfHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	return h[i].seq < h[j].seq
+}
+func (h spfHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *spfHeap) Push(x any) {
+	it, ok := x.(spfItem)
+	if !ok {
+		return // unreachable: Push only via heap.Push
+	}
+	*h = append(*h, it)
+}
+func (h *spfHeap) Pop() any {
+	old := *h
+	it := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return it
+}
+
+// SPF runs Dijkstra over the two-way-checked database topology and returns
+// root's routing table. Equal-cost ties resolve toward the lower-numbered
+// upstream node, so tables are deterministic.
+func (db *Database) SPF(root topo.NodeID) (*Table, error) {
+	if _, ok := db.lsas[root]; !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownRouter, root)
+	}
+	dist := map[topo.NodeID]float64{root: 0}
+	parent := map[topo.NodeID]topo.NodeID{}
+	done := map[topo.NodeID]bool{}
+	q := &spfHeap{{node: root}}
+	seq := 1
+	for q.Len() > 0 {
+		it, _ := heap.Pop(q).(spfItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		lsa, ok := db.lsas[u]
+		if !ok {
+			continue
+		}
+		for _, l := range lsa.Links {
+			cost, ok := db.twoWay(u, l.Neighbor)
+			if !ok {
+				continue
+			}
+			v := l.Neighbor
+			nd := dist[u] + cost
+			old, seen := dist[v]
+			switch {
+			case !seen || nd < old:
+				dist[v] = nd
+				parent[v] = u
+				heap.Push(q, spfItem{node: v, dist: nd, seq: seq})
+				seq++
+			case nd == old && u < parent[v]:
+				parent[v] = u
+			}
+		}
+	}
+	t := &Table{Router: root, nextHop: make(map[topo.NodeID]topo.NodeID, len(dist)), dist: dist}
+	for dst := range dist {
+		if dst == root {
+			continue
+		}
+		// Walk up the SPF tree to the first hop out of root.
+		v := dst
+		for parent[v] != root {
+			v = parent[v]
+		}
+		t.nextHop[dst] = v
+	}
+	return t, nil
+}
+
+// ComputeTables originates an LSA for every node of g, installs them into a
+// single converged database, and returns each node's routing table indexed
+// by node ID. This is the steady-state result that flooding converges to.
+func ComputeTables(g *topo.Graph, w func(a, b topo.NodeID) float64) ([]*Table, error) {
+	db := NewDatabase()
+	for v := 0; v < g.NumNodes(); v++ {
+		db.Install(Originate(g, topo.NodeID(v), 1, w))
+	}
+	tables := make([]*Table, g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		t, err := db.SPF(topo.NodeID(v))
+		if err != nil {
+			return nil, err
+		}
+		tables[v] = t
+	}
+	return tables, nil
+}
+
+// Flood simulates synchronous flooding of an LSA from its originator over
+// the graph: each router that learns something new forwards to all
+// neighbors in the next round. It updates the per-node databases in place
+// and returns the number of LSA messages sent — the convergence cost a
+// failover incurs before legacy tables are consistent.
+func Flood(g *topo.Graph, dbs []*Database, lsa LSA) (messages int, err error) {
+	if int(lsa.Router) >= len(dbs) || lsa.Router < 0 {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownRouter, lsa.Router)
+	}
+	frontier := []topo.NodeID{}
+	if dbs[lsa.Router].Install(lsa) {
+		frontier = append(frontier, lsa.Router)
+	}
+	for len(frontier) > 0 {
+		var next []topo.NodeID
+		for _, u := range frontier {
+			for _, v := range g.Neighbors(u) {
+				messages++
+				if dbs[v].Install(lsa) {
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return messages, nil
+}

@@ -1,0 +1,215 @@
+package ospf
+
+import (
+	"errors"
+	"testing"
+
+	"pmedic/internal/graphalg"
+	"pmedic/internal/topo"
+)
+
+func unit(a, b topo.NodeID) float64 { return 1 }
+
+func square(t *testing.T) *topo.Graph {
+	t.Helper()
+	g := &topo.Graph{}
+	for i := 0; i < 4; i++ {
+		g.AddNode("n", 0, 0)
+	}
+	for _, e := range [][2]topo.NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 0}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestInstallFreshness(t *testing.T) {
+	db := NewDatabase()
+	if !db.Install(LSA{Router: 1, Seq: 2}) {
+		t.Fatal("first install must change the database")
+	}
+	if db.Install(LSA{Router: 1, Seq: 1}) {
+		t.Fatal("stale LSA must be ignored")
+	}
+	if db.Install(LSA{Router: 1, Seq: 2}) {
+		t.Fatal("same-seq LSA must be ignored")
+	}
+	if !db.Install(LSA{Router: 1, Seq: 3}) {
+		t.Fatal("fresher LSA must be installed")
+	}
+	if db.Len() != 1 {
+		t.Fatalf("len = %d", db.Len())
+	}
+}
+
+func TestInstallCopiesLinks(t *testing.T) {
+	db := NewDatabase()
+	links := []Link{{Neighbor: 2, Cost: 1}}
+	db.Install(LSA{Router: 1, Seq: 1, Links: links})
+	links[0].Cost = 99
+	got, _ := db.Get(1)
+	if got.Links[0].Cost != 1 {
+		t.Fatal("database shares caller's link slice")
+	}
+}
+
+func TestOriginate(t *testing.T) {
+	g := square(t)
+	lsa := Originate(g, 0, 7, unit)
+	if lsa.Router != 0 || lsa.Seq != 7 || len(lsa.Links) != 2 {
+		t.Fatalf("lsa = %+v", lsa)
+	}
+}
+
+func TestSPFSquare(t *testing.T) {
+	g := square(t)
+	tables, err := ComputeTables(g, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := tables[0]
+	if nh := t0.NextHop(1); nh != 1 {
+		t.Fatalf("next hop to 1 = %d", nh)
+	}
+	if nh := t0.NextHop(3); nh != 3 {
+		t.Fatalf("next hop to 3 = %d", nh)
+	}
+	// Node 2 is equidistant via 1 and 3: deterministic tie-break via 1.
+	if nh := t0.NextHop(2); nh != 1 {
+		t.Fatalf("next hop to 2 = %d, want 1 (tie-break)", nh)
+	}
+	if d, ok := t0.DistanceTo(2); !ok || d != 2 {
+		t.Fatalf("distance to 2 = %v, %v", d, ok)
+	}
+	if t0.NextHop(0) != -1 {
+		t.Fatal("next hop to self must be -1")
+	}
+	if t0.NextHop(99) != -1 {
+		t.Fatal("unknown destination must be -1")
+	}
+}
+
+func TestSPFAgreesWithDijkstraOnATT(t *testing.T) {
+	dep, err := topo.ATT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := dep.Graph
+	w, err := g.EdgeDelaysMs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := ComputeTables(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := 0; src < g.NumNodes(); src++ {
+		tree, err := graphalg.Dijkstra(g, topo.NodeID(src), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for dst := 0; dst < g.NumNodes(); dst++ {
+			if dst == src {
+				continue
+			}
+			d, ok := tables[src].DistanceTo(topo.NodeID(dst))
+			if !ok {
+				t.Fatalf("SPF %d->%d unreachable", src, dst)
+			}
+			if diff := d - tree.Dist[dst]; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("SPF dist %d->%d = %v, dijkstra %v", src, dst, d, tree.Dist[dst])
+			}
+		}
+	}
+}
+
+func TestSPFIgnoresOneWayLinks(t *testing.T) {
+	db := NewDatabase()
+	// Router 0 claims a link to 1, but 1 does not reciprocate.
+	db.Install(LSA{Router: 0, Seq: 1, Links: []Link{{Neighbor: 1, Cost: 1}}})
+	db.Install(LSA{Router: 1, Seq: 1})
+	tab, err := db.SPF(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NextHop(1) != -1 {
+		t.Fatal("one-way link must not be routed over")
+	}
+}
+
+func TestSPFUnknownRouter(t *testing.T) {
+	db := NewDatabase()
+	if _, err := db.SPF(5); !errors.Is(err, ErrUnknownRouter) {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestTableDestinations(t *testing.T) {
+	g := square(t)
+	tables, err := ComputeTables(g, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsts := tables[0].Destinations()
+	if len(dsts) != 3 {
+		t.Fatalf("destinations = %v", dsts)
+	}
+	for i := 1; i < len(dsts); i++ {
+		if dsts[i] <= dsts[i-1] {
+			t.Fatalf("destinations unsorted: %v", dsts)
+		}
+	}
+}
+
+func TestFloodConverges(t *testing.T) {
+	g := square(t)
+	dbs := make([]*Database, g.NumNodes())
+	for i := range dbs {
+		dbs[i] = NewDatabase()
+	}
+	lsa := Originate(g, 0, 1, unit)
+	msgs, err := Flood(g, dbs, lsa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgs == 0 {
+		t.Fatal("flooding sent no messages")
+	}
+	for i, db := range dbs {
+		if got, ok := db.Get(0); !ok || got.Seq != 1 {
+			t.Fatalf("node %d missed the LSA", i)
+		}
+	}
+	// Re-flooding the same LSA is cheap: only the origin's neighbors hear
+	// it again and drop it.
+	again, err := Flood(g, dbs, lsa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != 0 {
+		t.Fatalf("stale re-flood sent %d messages, want 0", again)
+	}
+}
+
+func TestFloodBadOrigin(t *testing.T) {
+	g := square(t)
+	dbs := make([]*Database, g.NumNodes())
+	for i := range dbs {
+		dbs[i] = NewDatabase()
+	}
+	if _, err := Flood(g, dbs, LSA{Router: 44}); !errors.Is(err, ErrUnknownRouter) {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestRoutersSorted(t *testing.T) {
+	db := NewDatabase()
+	for _, r := range []topo.NodeID{5, 1, 3} {
+		db.Install(LSA{Router: r, Seq: 1})
+	}
+	rs := db.Routers()
+	if len(rs) != 3 || rs[0] != 1 || rs[1] != 3 || rs[2] != 5 {
+		t.Fatalf("routers = %v", rs)
+	}
+}

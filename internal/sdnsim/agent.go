@@ -1,0 +1,246 @@
+package sdnsim
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"pmedic/internal/core"
+	"pmedic/internal/flow"
+	"pmedic/internal/openflow"
+	"pmedic/internal/scenario"
+	"pmedic/internal/topo"
+)
+
+// Agent exposes one simulated switch as a network service speaking the
+// openflow wire protocol: a recovery controller can dial it, take the
+// master role, and install or remove flow entries over real TCP. It is the
+// networked counterpart of Network.ApplyRecovery, used to exercise the full
+// control channel end to end.
+type Agent struct {
+	listener *openflow.Listener
+
+	mu       sync.Mutex
+	sw       *Switch
+	role     openflow.ControllerRole
+	flowMods int
+
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// ServeSwitch starts an agent for sw on addr (e.g. "127.0.0.1:0"). The
+// agent serves controller channels until Close.
+func ServeSwitch(sw *Switch, addr string) (*Agent, error) {
+	l, err := openflow.Listen(addr)
+	if err != nil {
+		return nil, fmt.Errorf("sdnsim: agent for switch %d: %w", sw.ID, err)
+	}
+	a := &Agent{
+		listener: l,
+		sw:       sw,
+		role:     openflow.RoleEqual,
+		done:     make(chan struct{}),
+	}
+	a.wg.Add(1)
+	go a.acceptLoop()
+	return a, nil
+}
+
+// Addr returns the agent's listen address.
+func (a *Agent) Addr() string { return a.listener.Addr() }
+
+// Role returns the currently negotiated controller role.
+func (a *Agent) Role() openflow.ControllerRole {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.role
+}
+
+// FlowModsApplied returns the number of flow-mods the agent has applied.
+func (a *Agent) FlowModsApplied() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.flowMods
+}
+
+// Entry returns the switch's highest-priority entry for a flow, safely.
+func (a *Agent) Entry(id flow.ID) (FlowEntry, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sw.Entry(id)
+}
+
+// Close stops the agent and waits for its connections to drain.
+func (a *Agent) Close() error {
+	close(a.done)
+	err := a.listener.Close()
+	a.wg.Wait()
+	return err
+}
+
+func (a *Agent) acceptLoop() {
+	defer a.wg.Done()
+	for {
+		conn, err := a.listener.Accept()
+		if err != nil {
+			select {
+			case <-a.done:
+				return
+			default:
+				// Transient accept/handshake failure; keep serving.
+				continue
+			}
+		}
+		a.wg.Add(1)
+		go func() {
+			defer a.wg.Done()
+			a.serve(conn)
+		}()
+	}
+}
+
+// serve handles one controller channel until it closes.
+func (a *Agent) serve(conn *openflow.Conn) {
+	defer func() { _ = conn.Close() }()
+	for {
+		msg, h, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		switch m := msg.(type) {
+		case openflow.FeaturesRequest:
+			err = conn.SendXID(openflow.FeaturesReply{
+				DatapathID: uint64(a.sw.ID),
+				NumTables:  2,
+				Hybrid:     a.sw.Pipeline == PipelineHybrid,
+			}, h.XID)
+		case openflow.RoleRequest:
+			a.mu.Lock()
+			a.role = m.Role
+			a.mu.Unlock()
+			err = conn.SendXID(openflow.RoleReply{Role: m.Role, GenerationID: m.GenerationID}, h.XID)
+		case openflow.FlowMod:
+			a.mu.Lock()
+			switch m.Command {
+			case openflow.FlowAdd:
+				a.sw.InstallEntry(FlowEntry{
+					FlowID:   flow.ID(m.Match.FlowID),
+					Priority: int(m.Priority),
+					NextHop:  topo.NodeID(m.NextHop),
+				})
+			case openflow.FlowDelete:
+				a.sw.RemoveEntry(flow.ID(m.Match.FlowID))
+			case openflow.FlowDeleteAll:
+				a.sw.FlushEntries()
+			}
+			a.flowMods++
+			a.mu.Unlock()
+		case openflow.BarrierRequest:
+			err = conn.SendXID(openflow.BarrierReply{}, h.XID)
+		case openflow.Echo:
+			if !m.Reply {
+				err = conn.SendXID(openflow.Echo{Reply: true, Data: m.Data}, h.XID)
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// ErrAgentMissing reports a recovery push that has no agent for a switch it
+// must reconfigure.
+var ErrAgentMissing = errors.New("sdnsim: no agent for switch")
+
+// PushRecovery delivers a switch-mapping recovery over the wire: for every
+// offline switch with an agent, it dials the agent, claims mastership, sends
+// FlowDelete for pairs left in legacy mode and FlowAdd for SDN-mode pairs
+// (re-asserting the flow's current next hop), and synchronizes with a
+// barrier. It returns the number of flow-mods sent.
+func PushRecovery(
+	agents map[topo.NodeID]*Agent,
+	flows *flow.Set,
+	inst *scenario.Instance,
+	sol *core.Solution,
+) (int, error) {
+	if sol.PairController != nil {
+		return 0, errors.New("sdnsim: flow-level solutions need a middle layer, not a switch mapping")
+	}
+	p := inst.Problem
+	// Mode per (switch, flow).
+	type key struct {
+		sw topo.NodeID
+		fl flow.ID
+	}
+	sdn := make(map[key]bool, len(p.Pairs))
+	for k, pr := range p.Pairs {
+		sdn[key{inst.Switches[pr.Switch], inst.FlowIDs[pr.Flow]}] = sol.Active[k]
+	}
+	sent := 0
+	for i, swID := range inst.Switches {
+		if sol.SwitchController[i] < 0 {
+			continue // whole switch stays legacy; nobody can talk to it
+		}
+		agent, ok := agents[swID]
+		if !ok {
+			return sent, fmt.Errorf("%w: %d", ErrAgentMissing, swID)
+		}
+		conn, err := openflow.Dial(agent.Addr())
+		if err != nil {
+			return sent, err
+		}
+		if _, err := conn.Send(openflow.RoleRequest{Role: openflow.RoleMaster, GenerationID: 1}); err != nil {
+			_ = conn.Close()
+			return sent, err
+		}
+		if _, _, err := conn.Recv(); err != nil { // role reply
+			_ = conn.Close()
+			return sent, err
+		}
+		for _, k := range p.PairsAtSwitch(i) {
+			pr := p.Pairs[k]
+			lid := inst.FlowIDs[pr.Flow]
+			f := &flows.Flows[lid]
+			var msg openflow.Message
+			if sdn[key{swID, lid}] {
+				next := f.Dst
+				for h := 0; h+1 < len(f.Path); h++ {
+					if f.Path[h] == swID {
+						next = f.Path[h+1]
+						break
+					}
+				}
+				msg = openflow.FlowMod{
+					Command:  openflow.FlowAdd,
+					Priority: 100,
+					Match:    openflow.Match{FlowID: uint32(lid), Src: uint32(f.Src), Dst: uint32(f.Dst)},
+					NextHop:  uint32(next),
+				}
+			} else {
+				msg = openflow.FlowMod{
+					Command: openflow.FlowDelete,
+					Match:   openflow.Match{FlowID: uint32(lid), Src: uint32(f.Src), Dst: uint32(f.Dst)},
+				}
+			}
+			if _, err := conn.Send(msg); err != nil {
+				_ = conn.Close()
+				return sent, err
+			}
+			sent++
+		}
+		if _, err := conn.Send(openflow.BarrierRequest{}); err != nil {
+			_ = conn.Close()
+			return sent, err
+		}
+		if _, _, err := conn.Recv(); err != nil { // barrier reply
+			_ = conn.Close()
+			return sent, err
+		}
+		if err := conn.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+			return sent, err
+		}
+	}
+	return sent, nil
+}

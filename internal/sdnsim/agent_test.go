@@ -1,0 +1,239 @@
+package sdnsim
+
+import (
+	"errors"
+	"testing"
+
+	"pmedic/internal/core"
+	"pmedic/internal/flow"
+	"pmedic/internal/openflow"
+	"pmedic/internal/scenario"
+	"pmedic/internal/topo"
+)
+
+func TestAgentHandlesBasicProtocol(t *testing.T) {
+	n := network(t)
+	sw := n.Switches[13]
+	agent, err := ServeSwitch(sw, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = agent.Close() }()
+
+	conn, err := openflow.Dial(agent.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+
+	// Features.
+	if _, err := conn.Send(openflow.FeaturesRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	msg, _, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	feat, ok := msg.(openflow.FeaturesReply)
+	if !ok || feat.DatapathID != 13 || !feat.Hybrid {
+		t.Fatalf("features = %#v", msg)
+	}
+
+	// Role.
+	if _, err := conn.Send(openflow.RoleRequest{Role: openflow.RoleMaster, GenerationID: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := conn.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if agent.Role() != openflow.RoleMaster {
+		t.Fatalf("role = %v", agent.Role())
+	}
+
+	// Echo.
+	if _, err := conn.Send(openflow.Echo{Data: []byte("hi")}); err != nil {
+		t.Fatal(err)
+	}
+	msg, _, err = conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := msg.(openflow.Echo); !ok || !e.Reply || string(e.Data) != "hi" {
+		t.Fatalf("echo = %#v", msg)
+	}
+
+	// FlowMod add + barrier.
+	id := flow.ID(7)
+	neighbor := n.Dep.Graph.Neighbors(13)[0]
+	if _, err := conn.Send(openflow.FlowMod{
+		Command:  openflow.FlowAdd,
+		Priority: 200,
+		Match:    openflow.Match{FlowID: uint32(id)},
+		NextHop:  uint32(neighbor),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Send(openflow.BarrierRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := conn.Recv(); err != nil { // barrier reply orders the flowmod
+		t.Fatal(err)
+	}
+	e, ok := agent.Entry(id)
+	if !ok || e.Priority != 200 || e.NextHop != neighbor {
+		t.Fatalf("entry after wire flow-mod = %+v, %v", e, ok)
+	}
+	if agent.FlowModsApplied() != 1 {
+		t.Fatalf("flow mods = %d", agent.FlowModsApplied())
+	}
+}
+
+func TestAgentFlowDeleteAndFlush(t *testing.T) {
+	n := network(t)
+	sw := n.Switches[5]
+	before := sw.NumEntries()
+	if before == 0 {
+		t.Fatal("switch 5 has no steady-state entries")
+	}
+	agent, err := ServeSwitch(sw, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = agent.Close() }()
+	conn, err := openflow.Dial(agent.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+
+	// Delete one specific flow.
+	var victim flow.ID = -1
+	for l := range n.Flows.Flows {
+		if _, ok := sw.Entry(flow.ID(l)); ok {
+			victim = flow.ID(l)
+			break
+		}
+	}
+	if _, err := conn.Send(openflow.FlowMod{Command: openflow.FlowDelete, Match: openflow.Match{FlowID: uint32(victim)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Send(openflow.BarrierRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := conn.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := agent.Entry(victim); ok {
+		t.Fatal("entry survived FlowDelete")
+	}
+
+	// Flush everything.
+	if _, err := conn.Send(openflow.FlowMod{Command: openflow.FlowDeleteAll}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Send(openflow.BarrierRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := conn.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	agent.mu.Lock()
+	left := sw.NumEntries()
+	agent.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("%d entries survived FlowDeleteAll", left)
+	}
+}
+
+func TestPushRecoveryOverTheWire(t *testing.T) {
+	dep, err := topo.ATT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := flow.Generate(dep.Graph, flow.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(dep, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.FailControllers(3); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := scenario.Build(dep, flows, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := core.PM(inst.Problem)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	agents := make(map[topo.NodeID]*Agent, len(inst.Switches))
+	for _, swID := range inst.Switches {
+		a, err := ServeSwitch(n.Switches[swID], "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents[swID] = a
+	}
+	defer func() {
+		for _, a := range agents {
+			_ = a.Close()
+		}
+	}()
+
+	sent, err := PushRecovery(agents, flows, inst, sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent == 0 {
+		t.Fatal("nothing sent")
+	}
+	// Wire effect must match the analytic solution: SDN pairs have entries,
+	// legacy pairs do not.
+	for k, pr := range inst.Problem.Pairs {
+		swID := inst.Switches[pr.Switch]
+		if sol.SwitchController[pr.Switch] < 0 {
+			continue
+		}
+		lid := inst.FlowIDs[pr.Flow]
+		_, has := agents[swID].Entry(lid)
+		if has != sol.Active[k] {
+			t.Fatalf("switch %d flow %d: entry=%v, want %v", swID, lid, has, sol.Active[k])
+		}
+	}
+	// All touched agents negotiated mastership.
+	for i, swID := range inst.Switches {
+		if sol.SwitchController[i] < 0 {
+			continue
+		}
+		if agents[swID].Role() != openflow.RoleMaster {
+			t.Fatalf("agent %d role = %v", swID, agents[swID].Role())
+		}
+	}
+}
+
+func TestPushRecoveryMissingAgent(t *testing.T) {
+	dep, err := topo.ATT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := flow.Generate(dep.Graph, flow.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := scenario.Build(dep, flows, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := core.PM(inst.Problem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = PushRecovery(map[topo.NodeID]*Agent{}, flows, inst, sol)
+	if !errors.Is(err, ErrAgentMissing) {
+		t.Fatalf("error = %v, want ErrAgentMissing", err)
+	}
+}

@@ -1,0 +1,186 @@
+package sdnsim
+
+import (
+	"errors"
+	"fmt"
+
+	"pmedic/internal/flow"
+	"pmedic/internal/ospf"
+	"pmedic/internal/topo"
+)
+
+// Data-plane link failures. The two halves of the hybrid pipeline react
+// differently: the legacy (OSPF) tables reconverge by themselves — routers
+// originate fresh LSAs, flooding spreads them, SPF recomputes — while
+// OpenFlow entries are static state that keeps pointing at the dead link
+// until a controller reroutes the flow. This asymmetry is the resilience
+// argument for the hybrid mode: legacy-routed flows self-heal, SDN-routed
+// flows need their (live) controller.
+
+// ErrNoSuchLink reports a failure request for a link not in the topology.
+var ErrNoSuchLink = errors.New("sdnsim: no such link")
+
+// failedLink canonicalizes an undirected link.
+type failedLink struct{ a, b topo.NodeID }
+
+func linkKey(a, b topo.NodeID) failedLink {
+	if a > b {
+		a, b = b, a
+	}
+	return failedLink{a, b}
+}
+
+// FailLink takes the undirected link (a, b) out of service: packets can no
+// longer cross it, and the legacy plane reconverges — every router
+// re-originates its LSA without the link and the updated tables are
+// installed. It returns the number of LSA messages flooding consumed.
+func (n *Network) FailLink(a, b topo.NodeID) (int, error) {
+	if !n.Dep.Graph.HasEdge(a, b) {
+		return 0, fmt.Errorf("%w: %d-%d", ErrNoSuchLink, a, b)
+	}
+	if n.failedLinks == nil {
+		n.failedLinks = make(map[failedLink]bool)
+	}
+	key := linkKey(a, b)
+	if n.failedLinks[key] {
+		return 0, nil // already down
+	}
+	n.failedLinks[key] = true
+	return n.reconvergeLegacy(a, b)
+}
+
+// LinkUp reports whether the undirected link (a, b) is in service.
+func (n *Network) LinkUp(a, b topo.NodeID) bool {
+	return n.Dep.Graph.HasEdge(a, b) && !n.failedLinks[linkKey(a, b)]
+}
+
+// reconvergeLegacy floods fresh LSAs from the failed link's endpoints over
+// the surviving topology and recomputes every switch's legacy table from the
+// converged database, mirroring OSPF's reaction to a link-down event.
+func (n *Network) reconvergeLegacy(a, b topo.NodeID) (int, error) {
+	g := n.Dep.Graph
+	n.lsaSeq++
+	seq := n.lsaSeq
+	// Per-node databases seeded with the current converged view.
+	db := ospf.NewDatabase()
+	for v := 0; v < g.NumNodes(); v++ {
+		db.Install(n.originateWithoutFailedLinks(topo.NodeID(v), seq))
+	}
+	// Flooding cost: the two endpoints advertise; count messages over the
+	// surviving adjacencies. (The steady-state database above is what the
+	// flooding converges to; Flood quantifies the message cost.)
+	dbs := make([]*ospf.Database, g.NumNodes())
+	for v := range dbs {
+		dbs[v] = ospf.NewDatabase()
+	}
+	messages := 0
+	for _, origin := range []topo.NodeID{a, b} {
+		msgs, err := ospf.Flood(g, dbs, n.originateWithoutFailedLinks(origin, seq))
+		if err != nil {
+			return messages, fmt.Errorf("sdnsim: reconverge: %w", err)
+		}
+		messages += msgs
+	}
+	// Install the recomputed tables.
+	for v := 0; v < g.NumNodes(); v++ {
+		table, err := db.SPF(topo.NodeID(v))
+		if err != nil {
+			return messages, fmt.Errorf("sdnsim: reconverge SPF at %d: %w", v, err)
+		}
+		n.Switches[v].legacy = table
+	}
+	return messages, nil
+}
+
+// originateWithoutFailedLinks builds v's LSA over the surviving adjacencies.
+func (n *Network) originateWithoutFailedLinks(v topo.NodeID, seq uint64) ospf.LSA {
+	lsa := ospf.LSA{Router: v, Seq: seq}
+	n.Dep.Graph.ForEachNeighbor(v, func(w topo.NodeID) {
+		if n.failedLinks[linkKey(v, w)] {
+			return
+		}
+		lsa.Links = append(lsa.Links, ospf.Link{Neighbor: w, Cost: n.delay(v, w)})
+	})
+	return lsa
+}
+
+// StrandedFlows returns the flows whose current forwarding gets stuck at a
+// dead link: at some switch the pipeline's chosen next hop crosses a failed
+// link. Legacy-routed flows never appear here after reconvergence (their
+// tables healed); SDN-routed flows appear until a controller reroutes them.
+func (n *Network) StrandedFlows() []flow.ID {
+	var out []flow.ID
+	for l := range n.Flows.Flows {
+		f := &n.Flows.Flows[l]
+		if n.strandedAtSomeHop(f) {
+			out = append(out, f.ID)
+		}
+	}
+	return out
+}
+
+// strandedAtSomeHop walks the flow's pipeline like Inject (without the
+// event-driven clock) and reports whether it hits a failed link or a drop.
+func (n *Network) strandedAtSomeHop(f *flow.Flow) bool {
+	at := f.Src
+	for hops := 0; hops <= maxHops; hops++ {
+		nh, verdict := n.Switches[at].Forward(f.ID, f.Dst)
+		switch verdict {
+		case VerdictDelivered:
+			return false
+		case VerdictFlowTable, VerdictLegacy:
+			if !n.LinkUp(at, nh) {
+				return true
+			}
+			at = nh
+		default:
+			return true
+		}
+	}
+	return true
+}
+
+// HealStranded reroutes every stranded flow whose stuck switch is managed by
+// a live controller (directly or via the middle layer): the stale OpenFlow
+// entry is replaced with the healed legacy next hop, modelling the
+// controller reacting to a port-down notification. It returns how many flows
+// were healed and how many remain stranded — the latter are exactly the
+// flows stuck at offline (unmanaged) switches, which is what
+// programmability recovery exists to prevent.
+func (n *Network) HealStranded() (healed, stillStranded int) {
+	before := n.StrandedFlows()
+	for _, id := range before {
+		f := &n.Flows.Flows[id]
+		at := f.Src
+		for hops := 0; hops <= maxHops; hops++ {
+			nh, verdict := n.Switches[at].Forward(f.ID, f.Dst)
+			if verdict == VerdictDelivered {
+				break
+			}
+			if verdict != VerdictFlowTable && verdict != VerdictLegacy {
+				break
+			}
+			if n.LinkUp(at, nh) {
+				at = nh
+				continue
+			}
+			// Stuck here. Only an OpenFlow entry can be stale (legacy
+			// tables reconverged); replace it if the flow is controllable.
+			sw := n.Switches[at]
+			controllable := (sw.Managed() && n.Controllers[sw.Controller].Alive) ||
+				n.middleManaged(f.ID, at)
+			legacyNH := topo.NodeID(-1)
+			if sw.legacy != nil {
+				legacyNH = sw.legacy.NextHop(f.Dst)
+			}
+			if verdict != VerdictFlowTable || !controllable || legacyNH < 0 || !n.LinkUp(at, legacyNH) {
+				break
+			}
+			sw.InstallEntry(FlowEntry{FlowID: f.ID, Priority: 100, NextHop: legacyNH})
+			n.Stats.FlowModsSent++
+			at = legacyNH
+		}
+	}
+	after := n.StrandedFlows()
+	return len(before) - len(after), len(after)
+}

@@ -1,0 +1,161 @@
+package sdnsim
+
+import (
+	"errors"
+	"testing"
+
+	"pmedic/internal/flow"
+	"pmedic/internal/topo"
+)
+
+// pickTransitLink returns a link used mid-path by some flow, plus that flow.
+func pickTransitLink(t *testing.T, n *Network) (topo.NodeID, topo.NodeID, flow.ID) {
+	t.Helper()
+	for l := range n.Flows.Flows {
+		f := &n.Flows.Flows[l]
+		if len(f.Path) >= 3 {
+			return f.Path[1], f.Path[2], f.ID
+		}
+	}
+	t.Fatal("no multi-hop flow")
+	return -1, -1, -1
+}
+
+func TestFailLinkValidation(t *testing.T) {
+	n := network(t)
+	if _, err := n.FailLink(0, 24); !errors.Is(err, ErrNoSuchLink) {
+		t.Fatalf("error = %v, want ErrNoSuchLink", err)
+	}
+	if !n.LinkUp(0, 1) {
+		t.Fatal("healthy link reported down")
+	}
+}
+
+func TestFailLinkLegacySelfHeals(t *testing.T) {
+	n := network(t)
+	a, b, id := pickTransitLink(t, n)
+	f := &n.Flows.Flows[id]
+	// Put the flow fully on legacy at every hop: remove its entries.
+	for _, v := range f.Path[:len(f.Path)-1] {
+		n.Switches[v].RemoveEntry(id)
+	}
+	msgs, err := n.FailLink(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgs == 0 {
+		t.Fatal("reconvergence flooded no LSAs")
+	}
+	tr, err := n.Inject(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Delivered {
+		t.Fatalf("legacy-routed flow did not self-heal around the dead link: %+v", tr)
+	}
+	for i := 1; i < len(tr.Path); i++ {
+		if !n.LinkUp(tr.Path[i-1], tr.Path[i]) {
+			t.Fatalf("healed path %v crosses the dead link", tr.Path)
+		}
+	}
+}
+
+func TestFailLinkStrandsSDNEntries(t *testing.T) {
+	n := network(t)
+	a, b, id := pickTransitLink(t, n)
+	if _, err := n.FailLink(a, b); err != nil {
+		t.Fatal(err)
+	}
+	stranded := n.StrandedFlows()
+	if len(stranded) == 0 {
+		t.Fatal("no SDN-routed flow stranded by the link failure")
+	}
+	found := false
+	for _, sid := range stranded {
+		if sid == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("flow %d uses link %d-%d but is not stranded", id, a, b)
+	}
+	tr, err := n.Inject(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Delivered {
+		t.Fatal("packet crossed a dead link")
+	}
+}
+
+func TestHealStrandedWithLiveControllers(t *testing.T) {
+	n := network(t)
+	a, b, _ := pickTransitLink(t, n)
+	if _, err := n.FailLink(a, b); err != nil {
+		t.Fatal(err)
+	}
+	before := len(n.StrandedFlows())
+	healed, still := n.HealStranded()
+	if healed == 0 {
+		t.Fatal("nothing healed despite all controllers alive")
+	}
+	if still != 0 {
+		t.Fatalf("%d flows still stranded with every controller alive", still)
+	}
+	if healed != before {
+		t.Fatalf("healed %d of %d", healed, before)
+	}
+	// Everything forwards again.
+	for _, l := range []flow.ID{0, 7, 42} {
+		tr, err := n.Inject(l)
+		if err != nil || !tr.Delivered {
+			t.Fatalf("flow %d after heal: %v %+v", l, err, tr)
+		}
+	}
+}
+
+func TestHealStrandedBlockedByOfflineSwitches(t *testing.T) {
+	n := network(t)
+	// Fail the hub's controller first, then a link on a hub-adjacent path
+	// whose stale entry sits at the (now unmanaged) hub.
+	if err := n.FailControllers(3); err != nil {
+		t.Fatal(err)
+	}
+	var link [2]topo.NodeID
+	found := false
+	for l := range n.Flows.Flows {
+		f := &n.Flows.Flows[l]
+		for h := 0; h+1 < len(f.Path); h++ {
+			if f.Path[h] == 13 {
+				link = [2]topo.NodeID{f.Path[h], f.Path[h+1]}
+				found = true
+				break
+			}
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no flow transits the hub")
+	}
+	if _, err := n.FailLink(link[0], link[1]); err != nil {
+		t.Fatal(err)
+	}
+	_, still := n.HealStranded()
+	if still == 0 {
+		t.Fatal("expected flows stranded at the offline hub switch")
+	}
+}
+
+func TestFailLinkIdempotent(t *testing.T) {
+	n := network(t)
+	a, b, _ := pickTransitLink(t, n)
+	if _, err := n.FailLink(a, b); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := n.FailLink(a, b)
+	if err != nil || msgs != 0 {
+		t.Fatalf("repeat failure: msgs=%d err=%v", msgs, err)
+	}
+}

@@ -1,0 +1,107 @@
+package sdnsim
+
+import (
+	"errors"
+	"fmt"
+
+	"pmedic/internal/core"
+	"pmedic/internal/des"
+	"pmedic/internal/flow"
+	"pmedic/internal/scenario"
+	"pmedic/internal/topo"
+)
+
+// Middle-layer (FlowVisor-style) control path: a proxy slices an offline
+// switch's control so each flow can be owned by a different controller —
+// the mechanism behind the ProgrammabilityGuardian baseline. The network
+// models it as per-(switch, flow) ownership that bypasses the switch's
+// single-master mapping, at the price of the middle layer's extra delay.
+
+// ErrNotFlowLevel reports a solution without per-pair controller choices.
+var ErrNotFlowLevel = errors.New("sdnsim: solution is not flow-level")
+
+// middleOwner records flow-level control ownership installed through the
+// middle layer.
+type middleOwner struct {
+	controller int // global controller index
+}
+
+// ApplyFlowLevelRecovery applies a flow-level (PairController) recovery
+// through the middle layer: every active pair's flow stays SDN-routed at its
+// switch and becomes reroutable there via the pair's controller; inactive
+// pairs at offline switches fall to legacy. Control messages are delayed by
+// the middle-layer path (switch -> layer -> controller). It returns the
+// number of messages sent.
+func (n *Network) ApplyFlowLevelRecovery(inst *scenario.Instance, sol *core.Solution) (int, error) {
+	if sol.PairController == nil {
+		return 0, ErrNotFlowLevel
+	}
+	p := inst.Problem
+	if n.middle == nil {
+		n.middle = make(map[topo.NodeID]map[flow.ID]middleOwner)
+	}
+	messages := 0
+	// Active pairs: install ownership.
+	for k, on := range sol.Active {
+		pr := p.Pairs[k]
+		swID := inst.Switches[pr.Switch]
+		lid := inst.FlowIDs[pr.Flow]
+		if !on {
+			// Legacy mode for this flow at this switch.
+			n.Switches[swID].RemoveEntry(lid)
+			continue
+		}
+		jj := sol.PairController[k]
+		if jj < 0 || jj >= len(inst.Active) {
+			return messages, fmt.Errorf("%w: pair %d controller %d", core.ErrInfeasible, k, jj)
+		}
+		ctrl := n.Controllers[inst.Active[jj]]
+		if !ctrl.Alive {
+			return messages, fmt.Errorf("%w: controller %d", ErrControllerDown, ctrl.Index)
+		}
+		if ctrl.Load >= ctrl.Capacity {
+			return messages, fmt.Errorf("%w: controller %d", ErrCapacity, ctrl.Index)
+		}
+		ctrl.Load++
+		if n.middle[swID] == nil {
+			n.middle[swID] = make(map[flow.ID]middleOwner)
+		}
+		n.middle[swID][lid] = middleOwner{controller: ctrl.Index}
+		messages++
+		n.Stats.FlowModsSent++
+		d := inst.MiddleDelay[pr.Switch][jj]
+		sw := n.Switches[swID]
+		if err := n.Sim.Schedule(des.Time(d), func() {
+			if e, ok := sw.Entry(lid); ok {
+				sw.InstallEntry(e) // takeover flow-mod via the layer
+			}
+		}); err != nil {
+			return messages, err
+		}
+	}
+	// Unrecoverable flows at offline switches fall to legacy everywhere.
+	offline := make(map[topo.NodeID]bool, len(inst.Switches))
+	for _, sw := range inst.Switches {
+		offline[sw] = true
+	}
+	for _, lid := range inst.Unrecoverable {
+		f := &n.Flows.Flows[lid]
+		for _, v := range f.Path[:len(f.Path)-1] {
+			if offline[v] {
+				n.Switches[v].RemoveEntry(lid)
+			}
+		}
+	}
+	n.Sim.Run(0)
+	return messages, nil
+}
+
+// middleManaged reports whether (flow, switch) is controlled through the
+// middle layer by a live controller.
+func (n *Network) middleManaged(id flow.ID, at topo.NodeID) bool {
+	owner, ok := n.middle[at][id]
+	if !ok {
+		return false
+	}
+	return n.Controllers[owner.controller].Alive
+}

@@ -1,0 +1,497 @@
+package sdnsim
+
+import (
+	"errors"
+	"testing"
+
+	"pmedic/internal/core"
+	"pmedic/internal/flow"
+	"pmedic/internal/scenario"
+	"pmedic/internal/topo"
+)
+
+func network(t *testing.T) *Network {
+	t.Helper()
+	dep, err := topo.ATT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := flow.Generate(dep.Graph, flow.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(dep, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestSteadyStateFollowsFlowTables(t *testing.T) {
+	n := network(t)
+	for l := 0; l < n.Flows.Len(); l += 37 { // sample across the workload
+		id := flow.ID(l)
+		tr, err := n.Inject(id)
+		if err != nil {
+			t.Fatalf("flow %d: %v", id, err)
+		}
+		if !tr.Delivered {
+			t.Fatalf("flow %d not delivered: %+v", id, tr)
+		}
+		f := &n.Flows.Flows[id]
+		if len(tr.Path) != len(f.Path) {
+			t.Fatalf("flow %d path %v, want %v", id, tr.Path, f.Path)
+		}
+		for i := range tr.Path {
+			if tr.Path[i] != f.Path[i] {
+				t.Fatalf("flow %d diverged at hop %d: %v vs %v", id, i, tr.Path, f.Path)
+			}
+		}
+		for i, v := range tr.Verdicts[:len(tr.Verdicts)-1] {
+			if v != VerdictFlowTable {
+				t.Fatalf("flow %d hop %d verdict %v, want flow-table", id, i, v)
+			}
+		}
+	}
+}
+
+func TestLegacyFallthroughAfterEntryRemoval(t *testing.T) {
+	n := network(t)
+	id := flow.ID(0)
+	f := &n.Flows.Flows[id]
+	// Remove the entry at the source: the hybrid pipeline must fall through
+	// to OSPF and still deliver.
+	n.Switches[f.Src].RemoveEntry(id)
+	tr, err := n.Inject(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Delivered {
+		t.Fatalf("hybrid fallthrough failed: %+v", tr)
+	}
+	if tr.Verdicts[0] != VerdictLegacy {
+		t.Fatalf("first hop verdict %v, want legacy", tr.Verdicts[0])
+	}
+	if n.Stats.LegacyFallbacks == 0 {
+		t.Fatal("legacy fallback not counted")
+	}
+}
+
+func TestSDNPipelinePuntsOnMiss(t *testing.T) {
+	n := network(t)
+	id := flow.ID(0)
+	f := &n.Flows.Flows[id]
+	n.Switches[f.Src].Pipeline = PipelineSDN
+	n.Switches[f.Src].RemoveEntry(id)
+	tr, err := n.Inject(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Delivered || tr.Verdicts[0] != VerdictPuntNoMatch {
+		t.Fatalf("SDN-only miss: %+v", tr)
+	}
+}
+
+func TestLegacyPipelineIgnoresFlowTable(t *testing.T) {
+	n := network(t)
+	id := flow.ID(0)
+	f := &n.Flows.Flows[id]
+	src := n.Switches[f.Src]
+	src.Pipeline = PipelineLegacy
+	// Poison the flow table with a bogus next hop; legacy mode must ignore it.
+	src.InstallEntry(FlowEntry{FlowID: id, Priority: 999, NextHop: f.Src})
+	tr, err := n.Inject(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Delivered {
+		t.Fatalf("legacy pipeline failed: %+v", tr)
+	}
+	if tr.Verdicts[0] != VerdictLegacy {
+		t.Fatalf("verdict %v, want legacy", tr.Verdicts[0])
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	n := network(t)
+	id := flow.ID(0)
+	f := &n.Flows.Flows[id]
+	sw := n.Switches[f.Src]
+	orig, _ := sw.Entry(id)
+	other := topo.NodeID(-1)
+	n.Dep.Graph.ForEachNeighbor(f.Src, func(v topo.NodeID) {
+		if v != orig.NextHop {
+			other = v
+		}
+	})
+	if other < 0 {
+		t.Skip("source has a single neighbor")
+	}
+	sw.InstallEntry(FlowEntry{FlowID: id, Priority: 200, NextHop: other})
+	e, ok := sw.Entry(id)
+	if !ok || e.Priority != 200 || e.NextHop != other {
+		t.Fatalf("highest-priority entry = %+v", e)
+	}
+}
+
+func TestFailureFreezesProgrammabilityButNotForwarding(t *testing.T) {
+	n := network(t)
+	// Fail the hub domain controller (C4, index 3).
+	if err := n.FailControllers(3); err != nil {
+		t.Fatal(err)
+	}
+	offline := n.OfflineSwitches()
+	if len(offline) != len(n.Dep.Controllers[3].Domain) {
+		t.Fatalf("offline = %v", offline)
+	}
+	// A flow crossing the hub still forwards (data plane survives) ...
+	var crossing flow.ID = -1
+	for l := range n.Flows.Flows {
+		f := &n.Flows.Flows[l]
+		if f.Src != 13 && f.Dst != 13 && f.Traverses(13) {
+			crossing = f.ID
+			break
+		}
+	}
+	if crossing < 0 {
+		t.Fatal("no flow crosses the hub")
+	}
+	tr, err := n.Inject(crossing)
+	if err != nil || !tr.Delivered {
+		t.Fatalf("crossing flow not delivered after failure: %v %+v", err, tr)
+	}
+	// ... but cannot be rerouted at the offline hub.
+	if n.ProgrammableAt(crossing, 13) {
+		t.Fatal("offline switch reported programmable")
+	}
+	err = n.Reroute(crossing, 13, n.Dep.Graph.Neighbors(13)[0])
+	if !errors.Is(err, ErrUnmanaged) {
+		t.Fatalf("reroute error = %v, want ErrUnmanaged", err)
+	}
+}
+
+func TestRerouteChangesForwarding(t *testing.T) {
+	n := network(t)
+	// Find a flow and an on-path switch with an alternative next hop.
+	for l := range n.Flows.Flows {
+		f := &n.Flows.Flows[l]
+		for _, at := range f.Path[:len(f.Path)-1] {
+			if !n.ProgrammableAt(f.ID, at) {
+				continue
+			}
+			entry, _ := n.Switches[at].Entry(f.ID)
+			var alt topo.NodeID = -1
+			for _, v := range n.Dep.Graph.Neighbors(at) {
+				if v != entry.NextHop && n.reaches(v, f.Dst, at) {
+					alt = v
+					break
+				}
+			}
+			if alt < 0 {
+				continue
+			}
+			if err := n.Reroute(f.ID, at, alt); err != nil {
+				t.Fatalf("Reroute: %v", err)
+			}
+			e, _ := n.Switches[at].Entry(f.ID)
+			if e.NextHop != alt {
+				t.Fatalf("entry after reroute = %+v, want next hop %d", e, alt)
+			}
+			if n.Stats.FlowModsSent == 0 {
+				t.Fatal("flow-mod not counted")
+			}
+			return
+		}
+	}
+	t.Fatal("no programmable (flow, switch) found in steady state")
+}
+
+func TestRerouteRejectsLoop(t *testing.T) {
+	n := network(t)
+	// Rerouting toward a neighbor that can only reach dst back through the
+	// same switch must be refused. Find such a case: a degree-1 neighbor.
+	for l := range n.Flows.Flows {
+		f := &n.Flows.Flows[l]
+		for _, at := range f.Path[:len(f.Path)-1] {
+			for _, v := range n.Dep.Graph.Neighbors(at) {
+				if v == f.Dst {
+					continue
+				}
+				if n.Dep.Graph.Degree(v) == 1 {
+					err := n.Reroute(f.ID, at, v)
+					if err == nil {
+						t.Fatalf("reroute into dead-end %d accepted", v)
+					}
+					return
+				}
+			}
+		}
+	}
+	t.Skip("topology has no degree-1 node adjacent to a flow path")
+}
+
+func TestApplyRecoveryRestoresProgrammability(t *testing.T) {
+	dep, err := topo.ATT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := flow.Generate(dep.Graph, flow.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(dep, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail C4 and C5 — the headline case (13, 16).
+	if err := n.FailControllers(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := scenario.Build(dep, flows, []int{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := core.PM(inst.Problem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := inst.Evaluate(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Before recovery: every offline flow with pairs only at offline
+	// switches is unprogrammable.
+	messages, err := n.ApplyRecovery(inst, sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if messages == 0 {
+		t.Fatal("recovery sent no control messages")
+	}
+
+	// The analytic report and the behavioural network must agree: flows the
+	// solution recovered are reroutable at some offline switch OR at an
+	// online switch on their path; flows with pro=0 must not be reroutable
+	// at any offline switch.
+	pro := sol.FlowProgrammability(inst.Problem)
+	offline := map[topo.NodeID]bool{}
+	for _, sw := range inst.Switches {
+		offline[sw] = true
+	}
+	checked := 0
+	for li, lid := range inst.FlowIDs {
+		if pro[li] == 0 {
+			continue
+		}
+		// Recovered flows must be programmable somewhere on their path.
+		if !n.Programmable(lid) {
+			t.Fatalf("flow %d recovered analytically (pro=%d) but not reroutable in the network",
+				lid, pro[li])
+		}
+		checked++
+		if checked >= 50 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("nothing checked")
+	}
+	if rep.RecoveredFlows == 0 {
+		t.Fatal("PM recovered nothing in the headline case")
+	}
+
+	// Packets still flow after reconfiguration.
+	tr, err := n.Inject(inst.FlowIDs[0])
+	if err != nil || !tr.Delivered {
+		t.Fatalf("post-recovery delivery failed: %v %+v", err, tr)
+	}
+}
+
+func TestApplyRecoveryRespectsCapacity(t *testing.T) {
+	n := network(t)
+	if err := n.FailControllers(3); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := scenario.Build(n.Dep, n.Flows, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := core.PM(inst.Problem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.ApplyRecovery(inst, sol); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range n.Controllers {
+		if c.Load > c.Capacity {
+			t.Fatalf("controller %d over capacity: %d > %d", c.Index, c.Load, c.Capacity)
+		}
+	}
+}
+
+func TestInjectUnknownFlow(t *testing.T) {
+	n := network(t)
+	if _, err := n.Inject(flow.ID(99999)); !errors.Is(err, ErrBadFlow) {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestFailControllersValidation(t *testing.T) {
+	n := network(t)
+	if err := n.FailControllers(42); !errors.Is(err, ErrBadController) {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestControlDelay(t *testing.T) {
+	n := network(t)
+	d, err := n.ControlDelayMs(0, n.Dep.Controllers[0].Site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("co-located delay = %v, want 0", d)
+	}
+	if _, err := n.ControlDelayMs(9, 0); !errors.Is(err, ErrBadController) {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	n := network(t)
+	for i := 0; i < 5; i++ {
+		if _, err := n.Inject(flow.ID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n.Stats.PacketsInjected != 5 || n.Stats.PacketsDelivered != 5 {
+		t.Fatalf("stats = %+v", n.Stats)
+	}
+}
+
+func TestApplyFlowLevelRecoveryPG(t *testing.T) {
+	dep, err := topo.ATT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := flow.Generate(dep.Graph, flow.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(dep, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.FailControllers(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := scenario.Build(dep, flows, []int{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := core.PG(inst.Problem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := n.ApplyFlowLevelRecovery(inst, sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgs == 0 {
+		t.Fatal("no middle-layer messages")
+	}
+	// Capacity respected.
+	for _, c := range n.Controllers {
+		if c.Load > c.Capacity {
+			t.Fatalf("controller %d over capacity", c.Index)
+		}
+	}
+	// Behavioural parity: recovered flows are reroutable somewhere.
+	pro := sol.FlowProgrammability(inst.Problem)
+	checked := 0
+	for li, lid := range inst.FlowIDs {
+		if pro[li] == 0 {
+			continue
+		}
+		if !n.Programmable(lid) {
+			t.Fatalf("flow %d recovered by PG (pro=%d) but not reroutable", lid, pro[li])
+		}
+		checked++
+		if checked >= 40 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("nothing checked")
+	}
+	// A switch-level pass must still reject flow-level solutions and vice versa.
+	if _, err := n.ApplyRecovery(inst, sol); err == nil {
+		t.Fatal("ApplyRecovery accepted a flow-level solution")
+	}
+	pmSol, err := core.PM(inst.Problem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.ApplyFlowLevelRecovery(inst, pmSol); !errors.Is(err, ErrNotFlowLevel) {
+		t.Fatalf("error = %v, want ErrNotFlowLevel", err)
+	}
+}
+
+func TestMiddleLayerRerouteWorks(t *testing.T) {
+	dep, err := topo.ATT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := flow.Generate(dep.Graph, flow.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(dep, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.FailControllers(3); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := scenario.Build(dep, flows, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := core.PG(inst.Problem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.ApplyFlowLevelRecovery(inst, sol); err != nil {
+		t.Fatal(err)
+	}
+	// Find a middle-managed (flow, switch) with an alternative and reroute.
+	for k, on := range sol.Active {
+		if !on {
+			continue
+		}
+		pr := inst.Problem.Pairs[k]
+		swID := inst.Switches[pr.Switch]
+		lid := inst.FlowIDs[pr.Flow]
+		if !n.ProgrammableAt(lid, swID) {
+			continue
+		}
+		entry, _ := n.Switches[swID].Entry(lid)
+		f := &flows.Flows[lid]
+		for _, v := range dep.Graph.Neighbors(swID) {
+			if v == entry.NextHop || !n.reaches(v, f.Dst, swID) {
+				continue
+			}
+			if err := n.Reroute(lid, swID, v); err != nil {
+				t.Fatalf("middle-layer reroute: %v", err)
+			}
+			e, _ := n.Switches[swID].Entry(lid)
+			if e.NextHop != v {
+				t.Fatalf("entry = %+v, want next hop %d", e, v)
+			}
+			return
+		}
+	}
+	t.Fatal("no middle-managed reroutable pair found")
+}

@@ -1,0 +1,238 @@
+package topo
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements a loader for the GraphML dialect used by the Internet
+// Topology Zoo (the paper's source for the ATT topology), so the library can
+// run on real Topology Zoo files when they are available. Node geographic
+// coordinates come from the zoo's "Latitude"/"Longitude" node attributes.
+
+// GraphML parsing errors.
+var (
+	ErrGraphML       = errors.New("topo: invalid graphml")
+	ErrNoCoordinates = errors.New("topo: node without coordinates")
+)
+
+// xml schema subset of GraphML as emitted by the Topology Zoo.
+type gmlDoc struct {
+	XMLName xml.Name `xml:"graphml"`
+	Keys    []gmlKey `xml:"key"`
+	Graph   gmlGraph `xml:"graph"`
+}
+
+type gmlKey struct {
+	ID   string `xml:"id,attr"`
+	For  string `xml:"for,attr"`
+	Name string `xml:"attr.name,attr"`
+}
+
+type gmlGraph struct {
+	Nodes []gmlNode `xml:"node"`
+	Edges []gmlEdge `xml:"edge"`
+}
+
+type gmlNode struct {
+	ID   string    `xml:"id,attr"`
+	Data []gmlData `xml:"data"`
+}
+
+type gmlEdge struct {
+	Source string    `xml:"source,attr"`
+	Target string    `xml:"target,attr"`
+	Data   []gmlData `xml:"data"`
+}
+
+type gmlData struct {
+	Key   string `xml:"key,attr"`
+	Value string `xml:",chardata"`
+}
+
+// LoadGraphMLOptions tunes loading.
+type LoadGraphMLOptions struct {
+	// SkipNodesWithoutCoordinates drops nodes missing Latitude/Longitude
+	// (Topology Zoo files often contain a few such "external" nodes)
+	// together with their edges, instead of failing.
+	SkipNodesWithoutCoordinates bool
+	// AllowParallelEdges silently collapses duplicate edges instead of
+	// failing (zoo files frequently encode parallel links).
+	AllowParallelEdges bool
+}
+
+// LoadGraphML parses a Topology-Zoo-style GraphML document into a Graph.
+// Node IDs are re-numbered densely in the document's node order; the
+// original "label" attribute (or the GraphML id) becomes the node name.
+func LoadGraphML(r io.Reader, opts LoadGraphMLOptions) (*Graph, error) {
+	var doc gmlDoc
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrGraphML, err)
+	}
+	// Resolve the attribute keys we care about.
+	latKey, lonKey, labelKey := "", "", ""
+	for _, k := range doc.Keys {
+		if k.For != "node" {
+			continue
+		}
+		switch strings.ToLower(k.Name) {
+		case "latitude":
+			latKey = k.ID
+		case "longitude":
+			lonKey = k.ID
+		case "label":
+			labelKey = k.ID
+		}
+	}
+	if latKey == "" || lonKey == "" {
+		return nil, fmt.Errorf("%w: missing Latitude/Longitude node keys", ErrGraphML)
+	}
+
+	g := &Graph{}
+	idMap := make(map[string]NodeID, len(doc.Graph.Nodes))
+	for _, n := range doc.Graph.Nodes {
+		var lat, lon float64
+		var haveLat, haveLon bool
+		name := n.ID
+		for _, d := range n.Data {
+			v := strings.TrimSpace(d.Value)
+			switch d.Key {
+			case latKey:
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return nil, fmt.Errorf("%w: node %s latitude %q", ErrGraphML, n.ID, v)
+				}
+				lat, haveLat = f, true
+			case lonKey:
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return nil, fmt.Errorf("%w: node %s longitude %q", ErrGraphML, n.ID, v)
+				}
+				lon, haveLon = f, true
+			case labelKey:
+				if v != "" {
+					name = v
+				}
+			}
+		}
+		if !haveLat || !haveLon {
+			if opts.SkipNodesWithoutCoordinates {
+				continue
+			}
+			return nil, fmt.Errorf("%w: %s", ErrNoCoordinates, n.ID)
+		}
+		idMap[n.ID] = g.AddNode(name, lat, lon)
+	}
+	for _, e := range doc.Graph.Edges {
+		a, okA := idMap[e.Source]
+		b, okB := idMap[e.Target]
+		if !okA || !okB {
+			if opts.SkipNodesWithoutCoordinates {
+				continue // edge touched a dropped node
+			}
+			return nil, fmt.Errorf("%w: edge %s-%s references unknown node", ErrGraphML, e.Source, e.Target)
+		}
+		if a == b {
+			continue // zoo files occasionally carry self-loops; drop them
+		}
+		err := g.AddEdge(a, b)
+		if errors.Is(err, ErrDuplicateEdge) && opts.AllowParallelEdges {
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrGraphML, err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// AutoDeployment derives a plausible controller deployment for an arbitrary
+// topology, for running the recovery pipeline on loaded GraphML files:
+// the m highest-degree nodes become controller sites and every switch joins
+// the domain of its nearest site (by hop count, ties toward the lower site
+// index), each controller getting the given capacity.
+func AutoDeployment(g *Graph, m, capacity int) (*Deployment, error) {
+	n := g.NumNodes()
+	if m <= 0 || m > n {
+		return nil, fmt.Errorf("topo: auto deployment: %d controllers for %d nodes", m, n)
+	}
+	// Pick sites: highest degree, ties toward lower IDs.
+	order := make([]NodeID, n)
+	for v := range order {
+		order[v] = NodeID(v)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		da, db := g.Degree(order[a]), g.Degree(order[b])
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+	sites := make([]NodeID, m)
+	copy(sites, order[:m])
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+
+	// BFS from every site simultaneously-ish: assign to nearest site.
+	const inf = int(^uint(0) >> 1)
+	best := make([]int, n)
+	owner := make([]int, n)
+	for v := range best {
+		best[v], owner[v] = inf, -1
+	}
+	for si, site := range sites {
+		dist := bfsHops(g, site)
+		for v := 0; v < n; v++ {
+			if dist[v] >= 0 && (dist[v] < best[v] || (dist[v] == best[v] && owner[v] > si)) {
+				best[v], owner[v] = dist[v], si
+			}
+		}
+	}
+	d := &Deployment{Graph: g}
+	for si, site := range sites {
+		c := Controller{Site: site, Capacity: capacity}
+		for v := 0; v < n; v++ {
+			if owner[v] == si {
+				c.Domain = append(c.Domain, NodeID(v))
+			}
+		}
+		if len(c.Domain) == 0 {
+			// Unreachable in a connected graph, but keep the invariant.
+			c.Domain = []NodeID{site}
+		}
+		d.Controllers = append(d.Controllers, c)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("topo: auto deployment: %w", err)
+	}
+	return d, nil
+}
+
+// bfsHops returns hop distances from src (-1 unreachable).
+func bfsHops(g *Graph, src NodeID) []int {
+	dist := make([]int, g.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}

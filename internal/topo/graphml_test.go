@@ -1,0 +1,170 @@
+package topo
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// sampleGraphML is a minimal Topology-Zoo-style document: three nodes with
+// coordinates (one labeled), one without, plus a parallel edge and a
+// self-loop that loaders must tolerate when asked to.
+const sampleGraphML = `<?xml version="1.0" encoding="utf-8"?>
+<graphml xmlns="http://graphml.graphdrawing.org/xmlns">
+  <key attr.name="Latitude" attr.type="double" for="node" id="d29"/>
+  <key attr.name="Longitude" attr.type="double" for="node" id="d32"/>
+  <key attr.name="label" attr.type="string" for="node" id="d33"/>
+  <graph edgedefault="undirected">
+    <node id="0">
+      <data key="d29">40.71</data>
+      <data key="d32">-74.00</data>
+      <data key="d33">New York</data>
+    </node>
+    <node id="1">
+      <data key="d29">41.88</data>
+      <data key="d32">-87.63</data>
+    </node>
+    <node id="2">
+      <data key="d29">34.05</data>
+      <data key="d32">-118.24</data>
+    </node>
+    <node id="ghost"></node>
+    <edge source="0" target="1"/>
+    <edge source="1" target="0"/>
+    <edge source="1" target="2"/>
+    <edge source="2" target="2"/>
+    <edge source="ghost" target="0"/>
+  </graph>
+</graphml>`
+
+func TestLoadGraphMLSkipsAndCollapses(t *testing.T) {
+	g, err := LoadGraphML(strings.NewReader(sampleGraphML), LoadGraphMLOptions{
+		SkipNodesWithoutCoordinates: true,
+		AllowParallelEdges:          true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 {
+		t.Fatalf("nodes = %d, want 3 (ghost dropped)", g.NumNodes())
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2 (parallel + self-loop dropped)", g.NumEdges())
+	}
+	n, err := g.Node(0)
+	if err != nil || n.Name != "New York" {
+		t.Fatalf("node 0 = %+v, %v", n, err)
+	}
+	if n.Lat != 40.71 || n.Lon != -74.00 {
+		t.Fatalf("coordinates = %v, %v", n.Lat, n.Lon)
+	}
+	// Unlabeled nodes keep their GraphML id as the name.
+	n1, _ := g.Node(1)
+	if n1.Name != "1" {
+		t.Fatalf("node 1 name = %q", n1.Name)
+	}
+}
+
+func TestLoadGraphMLStrictFailsOnMissingCoordinates(t *testing.T) {
+	_, err := LoadGraphML(strings.NewReader(sampleGraphML), LoadGraphMLOptions{
+		AllowParallelEdges: true,
+	})
+	if !errors.Is(err, ErrNoCoordinates) {
+		t.Fatalf("error = %v, want ErrNoCoordinates", err)
+	}
+}
+
+func TestLoadGraphMLStrictFailsOnParallelEdges(t *testing.T) {
+	_, err := LoadGraphML(strings.NewReader(sampleGraphML), LoadGraphMLOptions{
+		SkipNodesWithoutCoordinates: true,
+	})
+	if !errors.Is(err, ErrDuplicateEdge) && !errors.Is(err, ErrGraphML) {
+		t.Fatalf("error = %v, want a duplicate-edge failure", err)
+	}
+}
+
+func TestLoadGraphMLRejectsGarbage(t *testing.T) {
+	if _, err := LoadGraphML(strings.NewReader("not xml at all"), LoadGraphMLOptions{}); !errors.Is(err, ErrGraphML) {
+		t.Fatalf("error = %v, want ErrGraphML", err)
+	}
+	noKeys := `<graphml><graph><node id="a"/></graph></graphml>`
+	if _, err := LoadGraphML(strings.NewReader(noKeys), LoadGraphMLOptions{}); !errors.Is(err, ErrGraphML) {
+		t.Fatalf("error = %v, want ErrGraphML (missing keys)", err)
+	}
+	badLat := `<graphml>
+	  <key attr.name="Latitude" for="node" id="a"/>
+	  <key attr.name="Longitude" for="node" id="b"/>
+	  <graph>
+	    <node id="x"><data key="a">oops</data><data key="b">1</data></node>
+	  </graph></graphml>`
+	if _, err := LoadGraphML(strings.NewReader(badLat), LoadGraphMLOptions{}); !errors.Is(err, ErrGraphML) {
+		t.Fatalf("error = %v, want ErrGraphML (bad latitude)", err)
+	}
+}
+
+func TestLoadGraphMLRejectsDisconnected(t *testing.T) {
+	doc := `<graphml>
+	  <key attr.name="Latitude" for="node" id="a"/>
+	  <key attr.name="Longitude" for="node" id="b"/>
+	  <graph>
+	    <node id="x"><data key="a">1</data><data key="b">1</data></node>
+	    <node id="y"><data key="a">2</data><data key="b">2</data></node>
+	    <node id="z"><data key="a">3</data><data key="b">3</data></node>
+	    <edge source="x" target="y"/>
+	  </graph></graphml>`
+	if _, err := LoadGraphML(strings.NewReader(doc), LoadGraphMLOptions{}); err == nil {
+		t.Fatal("disconnected topology must fail validation")
+	}
+}
+
+func TestAutoDeployment(t *testing.T) {
+	dep, err := ATT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := AutoDeployment(dep.Graph, 6, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := auto.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(auto.Controllers) != 6 {
+		t.Fatalf("controllers = %d", len(auto.Controllers))
+	}
+	// Sites must be among the highest-degree nodes; the hub (13) certainly
+	// qualifies.
+	found := false
+	for _, c := range auto.Controllers {
+		if c.Site == 13 {
+			found = true
+		}
+		// Every switch's site distance must be minimal over all sites —
+		// spot-check that each domain member is no closer to another site.
+		distSelf := bfsHops(dep.Graph, c.Site)
+		for _, sw := range c.Domain {
+			for _, o := range auto.Controllers {
+				distOther := bfsHops(dep.Graph, o.Site)
+				if distOther[sw] < distSelf[sw] {
+					t.Fatalf("switch %d in domain of %d but closer to %d", sw, c.Site, o.Site)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("hub 13 not chosen as a controller site")
+	}
+}
+
+func TestAutoDeploymentValidation(t *testing.T) {
+	dep, err := ATT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AutoDeployment(dep.Graph, 0, 500); err == nil {
+		t.Fatal("m=0 must fail")
+	}
+	if _, err := AutoDeployment(dep.Graph, 26, 500); err == nil {
+		t.Fatal("m>n must fail")
+	}
+}

@@ -1,0 +1,197 @@
+// Package traffic models the traffic side of the paper's motivation: path
+// programmability matters because flow demands vary, links saturate, and
+// only programmable flows can be shifted away. It provides demand matrices
+// (uniform and gravity), per-link load accounting for a routed workload,
+// and the "sheddable load" metric: how much of a hot link's traffic the
+// control plane could actually move, given which flows are programmable.
+package traffic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"pmedic/internal/flow"
+	"pmedic/internal/topo"
+)
+
+// Matrix assigns a demand rate to every flow of a workload.
+type Matrix struct {
+	demand []float64
+}
+
+// Matrix errors.
+var (
+	ErrBadRate = errors.New("traffic: demand rates must be positive and finite")
+	ErrBadFlow = errors.New("traffic: unknown flow")
+)
+
+// Uniform gives every flow the same rate.
+func Uniform(flows *flow.Set, rate float64) (*Matrix, error) {
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return nil, fmt.Errorf("%w: %v", ErrBadRate, rate)
+	}
+	m := &Matrix{demand: make([]float64, flows.Len())}
+	for i := range m.demand {
+		m.demand[i] = rate
+	}
+	return m, nil
+}
+
+// Gravity builds a gravity-model matrix: a flow's demand is proportional to
+// the product of its endpoints' masses (node degree as the size proxy),
+// scaled so the mean demand equals meanRate. It is deterministic.
+func Gravity(g *topo.Graph, flows *flow.Set, meanRate float64) (*Matrix, error) {
+	if meanRate <= 0 || math.IsNaN(meanRate) || math.IsInf(meanRate, 0) {
+		return nil, fmt.Errorf("%w: %v", ErrBadRate, meanRate)
+	}
+	m := &Matrix{demand: make([]float64, flows.Len())}
+	var sum float64
+	for i := range flows.Flows {
+		f := &flows.Flows[i]
+		mass := float64(g.Degree(f.Src) * g.Degree(f.Dst))
+		if mass <= 0 {
+			mass = 1
+		}
+		m.demand[i] = mass
+		sum += mass
+	}
+	if sum == 0 {
+		return nil, fmt.Errorf("%w: zero total mass", ErrBadRate)
+	}
+	scale := meanRate * float64(len(m.demand)) / sum
+	for i := range m.demand {
+		m.demand[i] *= scale
+	}
+	return m, nil
+}
+
+// Demand returns a flow's rate.
+func (m *Matrix) Demand(id flow.ID) (float64, error) {
+	if id < 0 || int(id) >= len(m.demand) {
+		return 0, fmt.Errorf("%w: %d", ErrBadFlow, id)
+	}
+	return m.demand[id], nil
+}
+
+// Scale multiplies one flow's demand by factor (a traffic spike).
+func (m *Matrix) Scale(id flow.ID, factor float64) error {
+	if id < 0 || int(id) >= len(m.demand) {
+		return fmt.Errorf("%w: %d", ErrBadFlow, id)
+	}
+	if factor <= 0 || math.IsNaN(factor) || math.IsInf(factor, 0) {
+		return fmt.Errorf("%w: factor %v", ErrBadRate, factor)
+	}
+	m.demand[id] *= factor
+	return nil
+}
+
+// Total returns the summed demand.
+func (m *Matrix) Total() float64 {
+	var t float64
+	for _, d := range m.demand {
+		t += d
+	}
+	return t
+}
+
+// edgeKey canonicalizes an undirected link.
+type edgeKey struct{ a, b topo.NodeID }
+
+func keyOf(a, b topo.NodeID) edgeKey {
+	if a > b {
+		a, b = b, a
+	}
+	return edgeKey{a, b}
+}
+
+// LoadMap is per-link carried traffic for a routed workload.
+type LoadMap struct {
+	load     map[edgeKey]float64
+	capacity float64
+}
+
+// Loads routes every flow's demand over its installed path and accumulates
+// per-link load. linkCapacity is the uniform link capacity used for
+// utilization (must be positive).
+func Loads(flows *flow.Set, m *Matrix, linkCapacity float64) (*LoadMap, error) {
+	if linkCapacity <= 0 || math.IsNaN(linkCapacity) || math.IsInf(linkCapacity, 0) {
+		return nil, fmt.Errorf("%w: link capacity %v", ErrBadRate, linkCapacity)
+	}
+	lm := &LoadMap{load: make(map[edgeKey]float64), capacity: linkCapacity}
+	for i := range flows.Flows {
+		f := &flows.Flows[i]
+		d, err := m.Demand(f.ID)
+		if err != nil {
+			return nil, err
+		}
+		for h := 1; h < len(f.Path); h++ {
+			lm.load[keyOf(f.Path[h-1], f.Path[h])] += d
+		}
+	}
+	return lm, nil
+}
+
+// Load returns the traffic carried by link (a, b).
+func (lm *LoadMap) Load(a, b topo.NodeID) float64 { return lm.load[keyOf(a, b)] }
+
+// Utilization returns Load/capacity for link (a, b).
+func (lm *LoadMap) Utilization(a, b topo.NodeID) float64 {
+	return lm.load[keyOf(a, b)] / lm.capacity
+}
+
+// Hottest returns the most utilized link and its utilization. ok is false
+// for an empty map. Ties resolve toward the lexicographically first link, so
+// the result is deterministic.
+func (lm *LoadMap) Hottest() (a, b topo.NodeID, util float64, ok bool) {
+	keys := make([]edgeKey, 0, len(lm.load))
+	for k := range lm.load {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	best := edgeKey{-1, -1}
+	for _, k := range keys {
+		if best.a < 0 || lm.load[k] > lm.load[best] {
+			best = k
+		}
+	}
+	if best.a < 0 {
+		return -1, -1, 0, false
+	}
+	return best.a, best.b, lm.load[best] / lm.capacity, true
+}
+
+// SheddableLoad computes how much of link (a, b)'s load could be moved away
+// by the control plane: the summed demand of flows that cross the link and
+// are programmable according to the supplied predicate (typically
+// sdnsim.Network.Programmable, or a recovery report lookup). This is the
+// traffic-engineering capability that controller failures destroy and
+// recovery restores.
+func SheddableLoad(flows *flow.Set, m *Matrix, a, b topo.NodeID, programmable func(flow.ID) bool) (float64, error) {
+	var total float64
+	for i := range flows.Flows {
+		f := &flows.Flows[i]
+		crosses := false
+		for h := 1; h < len(f.Path); h++ {
+			if keyOf(f.Path[h-1], f.Path[h]) == keyOf(a, b) {
+				crosses = true
+				break
+			}
+		}
+		if !crosses || !programmable(f.ID) {
+			continue
+		}
+		d, err := m.Demand(f.ID)
+		if err != nil {
+			return 0, err
+		}
+		total += d
+	}
+	return total, nil
+}

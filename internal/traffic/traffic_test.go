@@ -1,0 +1,191 @@
+package traffic
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"pmedic/internal/flow"
+	"pmedic/internal/topo"
+)
+
+func fixtures(t *testing.T) (*topo.Deployment, *flow.Set) {
+	t.Helper()
+	dep, err := topo.ATT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := flow.Generate(dep.Graph, flow.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dep, flows
+}
+
+func TestUniformMatrix(t *testing.T) {
+	_, flows := fixtures(t)
+	m, err := Uniform(flows, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := m.Demand(0)
+	if err != nil || d != 2.5 {
+		t.Fatalf("demand = %v, %v", d, err)
+	}
+	if math.Abs(m.Total()-2.5*float64(flows.Len())) > 1e-9 {
+		t.Fatalf("total = %v", m.Total())
+	}
+}
+
+func TestUniformValidation(t *testing.T) {
+	_, flows := fixtures(t)
+	for _, rate := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := Uniform(flows, rate); !errors.Is(err, ErrBadRate) {
+			t.Fatalf("rate %v: error = %v", rate, err)
+		}
+	}
+}
+
+func TestGravityMatrix(t *testing.T) {
+	dep, flows := fixtures(t)
+	m, err := Gravity(dep.Graph, flows, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean must equal the requested mean.
+	if mean := m.Total() / float64(flows.Len()); math.Abs(mean-1.0) > 1e-9 {
+		t.Fatalf("mean = %v", mean)
+	}
+	// Hub-to-hub flows must outweigh leaf-to-leaf ones.
+	var hubFlow, leafFlow flow.ID = -1, -1
+	for i := range flows.Flows {
+		f := &flows.Flows[i]
+		if f.Src == 13 && dep.Graph.Degree(f.Dst) >= 6 && hubFlow < 0 {
+			hubFlow = f.ID
+		}
+		if dep.Graph.Degree(f.Src) == 2 && dep.Graph.Degree(f.Dst) == 2 && leafFlow < 0 {
+			leafFlow = f.ID
+		}
+	}
+	if hubFlow < 0 || leafFlow < 0 {
+		t.Skip("no suitable flows")
+	}
+	dh, _ := m.Demand(hubFlow)
+	dl, _ := m.Demand(leafFlow)
+	if dh <= dl {
+		t.Fatalf("gravity: hub demand %v <= leaf demand %v", dh, dl)
+	}
+}
+
+func TestScaleSpike(t *testing.T) {
+	_, flows := fixtures(t)
+	m, err := Uniform(flows, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Scale(3, 10); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := m.Demand(3)
+	if d != 10 {
+		t.Fatalf("spiked demand = %v", d)
+	}
+	if err := m.Scale(3, -1); !errors.Is(err, ErrBadRate) {
+		t.Fatalf("error = %v", err)
+	}
+	if err := m.Scale(flow.ID(99999), 2); !errors.Is(err, ErrBadFlow) {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestLoadsConservation(t *testing.T) {
+	_, flows := fixtures(t)
+	m, err := Uniform(flows, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := Loads(flows, m, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total link load equals Σ demand × hops.
+	var wantTotal float64
+	for i := range flows.Flows {
+		wantTotal += float64(len(flows.Flows[i].Path) - 1)
+	}
+	var gotTotal float64
+	for k, v := range lm.load {
+		if v < 0 {
+			t.Fatalf("negative load on %v", k)
+		}
+		gotTotal += v
+	}
+	if math.Abs(gotTotal-wantTotal) > 1e-6 {
+		t.Fatalf("total link load %v, want %v", gotTotal, wantTotal)
+	}
+}
+
+func TestHottestIsHubAdjacent(t *testing.T) {
+	_, flows := fixtures(t)
+	m, err := Uniform(flows, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := Loads(flows, m, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, util, ok := lm.Hottest()
+	if !ok || util <= 0 {
+		t.Fatalf("hottest = %d-%d %v %v", a, b, util, ok)
+	}
+	if a != 13 && b != 13 && a != 19 && b != 19 {
+		t.Fatalf("hottest link %d-%d does not touch a hub", a, b)
+	}
+	// Symmetric lookups agree.
+	if lm.Load(a, b) != lm.Load(b, a) || lm.Utilization(a, b) != util {
+		t.Fatal("undirected accounting broken")
+	}
+}
+
+func TestSheddableLoad(t *testing.T) {
+	_, flows := fixtures(t)
+	m, err := Uniform(flows, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := Loads(flows, m, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, _, _ := lm.Hottest()
+	// Everything programmable: sheddable equals the link's full load.
+	all, err := SheddableLoad(flows, m, a, b, func(flow.ID) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(all-lm.Load(a, b)) > 1e-9 {
+		t.Fatalf("sheddable %v != load %v", all, lm.Load(a, b))
+	}
+	// Nothing programmable: zero.
+	none, err := SheddableLoad(flows, m, a, b, func(flow.ID) bool { return false })
+	if err != nil || none != 0 {
+		t.Fatalf("sheddable = %v, %v", none, err)
+	}
+	// Half: strictly between.
+	half, err := SheddableLoad(flows, m, a, b, func(id flow.ID) bool { return id%2 == 0 })
+	if err != nil || half <= 0 || half >= all {
+		t.Fatalf("partial sheddable = %v", half)
+	}
+}
+
+func TestLoadsValidation(t *testing.T) {
+	_, flows := fixtures(t)
+	m, err := Uniform(flows, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Loads(flows, m, 0); !errors.Is(err, ErrBadRate) {
+		t.Fatalf("error = %v", err)
+	}
+}
