@@ -2,41 +2,102 @@ package openflow
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
+// Default timeouts for the convenience constructors. Dial bounds connect +
+// handshake; Accept bounds the server side of the handshake so one
+// unresponsive client cannot wedge a listener forever.
+const (
+	DefaultDialTimeout      = 10 * time.Second
+	DefaultHandshakeTimeout = 10 * time.Second
+)
+
+// deadliner is the deadline surface of net.Conn (and of transports, such as
+// the chaos layer, that forward it).
+type deadliner interface {
+	SetReadDeadline(time.Time) error
+	SetWriteDeadline(time.Time) error
+}
+
 // Conn is a control channel over a byte stream: buffered framing, an XID
-// counter, and the opening Hello handshake. Reads and writes may proceed
-// concurrently from one goroutine each; Send may additionally be called from
-// multiple goroutines.
+// counter, per-operation deadlines, and the opening Hello handshake. Reads
+// and writes may proceed concurrently from one goroutine each; Send may
+// additionally be called from multiple goroutines.
+//
+// A Conn whose Recv fails with a timeout may have consumed part of a frame
+// and is no longer usable for further traffic; close and redial.
 type Conn struct {
 	raw io.Closer
+	dl  deadliner // nil when the transport has no deadline support
 	r   *bufio.Reader
 
 	wmu sync.Mutex
 	w   *bufio.Writer
 
-	xid atomic.Uint32
+	xid     atomic.Uint32
+	timeout atomic.Int64 // per-operation deadline, ns; 0 = none
 }
 
 // NewConn wraps a transport. For TCP, pass the *net.TCPConn (any
-// io.ReadWriteCloser works, e.g. net.Pipe ends in tests).
+// io.ReadWriteCloser works, e.g. net.Pipe ends in tests). When the transport
+// exposes SetReadDeadline/SetWriteDeadline, SetIOTimeout can arm
+// per-operation deadlines.
 func NewConn(rwc io.ReadWriteCloser) *Conn {
-	return &Conn{
+	c := &Conn{
 		raw: rwc,
 		r:   bufio.NewReader(rwc),
 		w:   bufio.NewWriter(rwc),
 	}
+	if dl, ok := rwc.(deadliner); ok {
+		c.dl = dl
+	}
+	return c
+}
+
+// SetIOTimeout arms a deadline applied independently to every subsequent
+// Recv and Send; d <= 0 clears it. It reports whether the underlying
+// transport supports deadlines (false means nothing was armed and
+// operations can still block forever).
+func (c *Conn) SetIOTimeout(d time.Duration) bool {
+	if c.dl == nil {
+		return false
+	}
+	if d <= 0 {
+		c.timeout.Store(0)
+		_ = c.dl.SetReadDeadline(time.Time{})
+		_ = c.dl.SetWriteDeadline(time.Time{})
+		return true
+	}
+	c.timeout.Store(int64(d))
+	return true
+}
+
+func (c *Conn) armRead() error {
+	if d := time.Duration(c.timeout.Load()); d > 0 && c.dl != nil {
+		return c.dl.SetReadDeadline(time.Now().Add(d))
+	}
+	return nil
+}
+
+func (c *Conn) armWrite() error {
+	if d := time.Duration(c.timeout.Load()); d > 0 && c.dl != nil {
+		return c.dl.SetWriteDeadline(time.Now().Add(d))
+	}
+	return nil
 }
 
 // Handshake exchanges Hello messages: it sends one and requires the peer's
 // first message to be one. Both sides of a channel call it; the send runs
 // concurrently with the read so the exchange also completes over fully
-// synchronous transports such as net.Pipe.
+// synchronous transports such as net.Pipe. An armed SetIOTimeout bounds the
+// exchange.
 func (c *Conn) Handshake() error {
 	sendErr := make(chan error, 1)
 	go func() {
@@ -71,37 +132,120 @@ func (c *Conn) SendXID(msg Message, xid uint32) error {
 	}
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if err := c.armWrite(); err != nil {
+		return err
+	}
 	if _, err := c.w.Write(buf); err != nil {
 		return err
 	}
 	return c.w.Flush()
 }
 
-// Recv blocks for the next message.
+// Recv blocks for the next message, honoring the armed per-operation
+// deadline.
 func (c *Conn) Recv() (Message, Header, error) {
+	if err := c.armRead(); err != nil {
+		return nil, Header{}, err
+	}
 	return ReadMessage(c.r)
+}
+
+// RecvXID reads messages until one carrying xid arrives. Along the way it
+// transparently answers the peer's Echo requests (keeping the channel's
+// liveness protocol running) and discards unrelated messages, so callers can
+// match request/reply pairs over a channel with interleaved traffic. A peer
+// ErrorMsg carrying the awaited XID is returned with a *RemoteError.
+func (c *Conn) RecvXID(xid uint32) (Message, Header, error) {
+	for {
+		msg, h, err := c.Recv()
+		if err != nil {
+			return nil, Header{}, err
+		}
+		if e, ok := msg.(Echo); ok && !e.Reply {
+			if err := c.SendXID(Echo{Reply: true, Data: e.Data}, h.XID); err != nil {
+				return nil, Header{}, err
+			}
+			continue
+		}
+		if h.XID != xid {
+			continue
+		}
+		if e, ok := msg.(ErrorMsg); ok {
+			return msg, h, &RemoteError{Code: e.Code, Data: e.Data}
+		}
+		return msg, h, nil
+	}
+}
+
+// Request sends msg and blocks for the XID-matched reply.
+func (c *Conn) Request(msg Message) (Message, Header, error) {
+	xid, err := c.Send(msg)
+	if err != nil {
+		return nil, Header{}, err
+	}
+	return c.RecvXID(xid)
+}
+
+// Ping probes channel liveness with an Echo round-trip carrying data. It
+// fails on any transport error, on a timeout (arm SetIOTimeout first), or
+// when the peer's reply does not mirror the payload.
+func (c *Conn) Ping(data []byte) error {
+	msg, _, err := c.Request(Echo{Data: data})
+	if err != nil {
+		return fmt.Errorf("openflow: ping: %w", err)
+	}
+	e, ok := msg.(Echo)
+	if !ok || !e.Reply || !bytes.Equal(e.Data, data) {
+		return fmt.Errorf("openflow: ping: unexpected reply %v", msg.MsgType())
+	}
+	return nil
 }
 
 // Close closes the underlying transport.
 func (c *Conn) Close() error { return c.raw.Close() }
 
-// Dial opens a control channel to addr over TCP and performs the handshake.
+// Dial opens a control channel to addr over TCP with the default connect +
+// handshake timeout.
 func Dial(addr string) (*Conn, error) {
-	nc, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, DefaultDialTimeout)
+}
+
+// DialTimeout opens a control channel to addr over TCP, bounding both the
+// TCP connect and the Hello handshake by d (d <= 0 means no bound, the
+// historical hang-forever behaviour). The returned Conn has no per-operation
+// deadline armed; callers wanting bounded reads and writes call
+// SetIOTimeout.
+func DialTimeout(addr string, d time.Duration) (*Conn, error) {
+	var (
+		nc  net.Conn
+		err error
+	)
+	if d > 0 {
+		nc, err = net.DialTimeout("tcp", addr, d)
+	} else {
+		nc, err = net.Dial("tcp", addr)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("openflow: dial %s: %w", addr, err)
 	}
 	c := NewConn(nc)
+	if d > 0 {
+		c.SetIOTimeout(d)
+	}
 	if err := c.Handshake(); err != nil {
 		_ = nc.Close()
 		return nil, err
 	}
+	c.SetIOTimeout(0)
 	return c, nil
 }
 
 // Listener accepts control channels.
 type Listener struct {
 	l net.Listener
+	// HandshakeTimeout bounds the Hello exchange of each accepted channel;
+	// zero selects DefaultHandshakeTimeout and negative disables the bound.
+	HandshakeTimeout time.Duration
 }
 
 // Listen starts a control-channel listener on addr (e.g. "127.0.0.1:0").
@@ -116,17 +260,26 @@ func Listen(addr string) (*Listener, error) {
 // Addr returns the bound address.
 func (l *Listener) Addr() string { return l.l.Addr().String() }
 
-// Accept blocks for the next channel and performs the handshake.
+// Accept blocks for the next channel and performs the handshake, bounded by
+// the listener's handshake timeout.
 func (l *Listener) Accept() (*Conn, error) {
 	nc, err := l.l.Accept()
 	if err != nil {
 		return nil, err
 	}
 	c := NewConn(nc)
+	d := l.HandshakeTimeout
+	if d == 0 {
+		d = DefaultHandshakeTimeout
+	}
+	if d > 0 {
+		c.SetIOTimeout(d)
+	}
 	if err := c.Handshake(); err != nil {
 		_ = nc.Close()
 		return nil, err
 	}
+	c.SetIOTimeout(0)
 	return c, nil
 }
 

@@ -1,6 +1,8 @@
 package openflow
 
 import (
+	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"testing"
@@ -132,6 +134,185 @@ func TestTCPDialListen(t *testing.T) {
 	}
 	if rep, ok := reply.(Echo); !ok || !rep.Reply || string(rep.Data) != "alive?" {
 		t.Fatalf("reply = %#v", reply)
+	}
+}
+
+func TestDialTimeoutUnresponsivePeer(t *testing.T) {
+	// A raw TCP listener that accepts but never speaks: the handshake can
+	// never complete, so DialTimeout must give up instead of hanging.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			defer func() { _ = c.Close() }()
+			// Swallow the client's hello, reply with nothing.
+			_, _ = c.Read(make([]byte, 64))
+		}
+	}()
+
+	start := time.Now()
+	_, err = DialTimeout(l.Addr().String(), 150*time.Millisecond)
+	if err == nil {
+		t.Fatal("DialTimeout succeeded against a mute peer")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("DialTimeout took %v, want prompt failure", elapsed)
+	}
+}
+
+func TestAcceptTimesOutOnMuteClient(t *testing.T) {
+	ofl, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ofl.Close() }()
+	ofl.HandshakeTimeout = 150 * time.Millisecond
+
+	// The client connects at the TCP level but never sends its hello.
+	nc, err := net.Dial("tcp", ofl.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = nc.Close() }()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := ofl.Accept()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Accept handshook with a mute client")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Accept hung on a mute client")
+	}
+}
+
+func TestRequestMatchesXIDThroughInterleavedTraffic(t *testing.T) {
+	a, b := net.Pipe()
+	client, server := NewConn(a), NewConn(b)
+	defer func() {
+		_ = client.Close()
+		_ = server.Close()
+	}()
+
+	serverDone := make(chan error, 1)
+	go func() {
+		serverDone <- func() error {
+			msg, h, err := server.Recv()
+			if err != nil {
+				return err
+			}
+			if _, ok := msg.(BarrierRequest); !ok {
+				return fmt.Errorf("server got %v", msg.MsgType())
+			}
+			// Interleave: an unrelated unsolicited reply, then an echo
+			// request, then the real barrier reply.
+			if err := server.SendXID(RoleReply{Role: RoleEqual, GenerationID: 0}, h.XID+100); err != nil {
+				return err
+			}
+			if _, err := server.Send(Echo{Data: []byte("keepalive")}); err != nil {
+				return err
+			}
+			// The client must answer our echo request while it waits for the
+			// barrier reply; consume the answer before sending that reply, as
+			// net.Pipe is fully synchronous.
+			reply, _, err := server.Recv()
+			if err != nil {
+				return err
+			}
+			if e, ok := reply.(Echo); !ok || !e.Reply || string(e.Data) != "keepalive" {
+				return fmt.Errorf("echo reply = %#v", reply)
+			}
+			return server.SendXID(BarrierReply{}, h.XID)
+		}()
+	}()
+
+	msg, _, err := client.Request(BarrierRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := msg.(BarrierReply); !ok {
+		t.Fatalf("request returned %v, want barrier reply", msg.MsgType())
+	}
+	if err := <-serverDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestSurfacesRemoteError(t *testing.T) {
+	a, b := net.Pipe()
+	client, server := NewConn(a), NewConn(b)
+	defer func() {
+		_ = client.Close()
+		_ = server.Close()
+	}()
+	go func() {
+		msg, h, err := server.Recv()
+		if err != nil {
+			return
+		}
+		if _, ok := msg.(RoleRequest); !ok {
+			return
+		}
+		gen := make([]byte, 8)
+		gen[7] = 9
+		_ = server.SendXID(ErrorMsg{Code: ErrCodeRoleStale, Data: gen}, h.XID)
+	}()
+
+	_, _, err := client.Request(RoleRequest{Role: RoleMaster, GenerationID: 1})
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("error = %v, want *RemoteError", err)
+	}
+	if re.Code != ErrCodeRoleStale {
+		t.Fatalf("code = %d", re.Code)
+	}
+	if gen, ok := re.StaleGeneration(); !ok || gen != 9 {
+		t.Fatalf("stale generation = %d, %v", gen, ok)
+	}
+}
+
+func TestPingAndIOTimeout(t *testing.T) {
+	a, b := net.Pipe()
+	client, server := NewConn(a), NewConn(b)
+	defer func() {
+		_ = client.Close()
+		_ = server.Close()
+	}()
+	// A live peer answers the probe.
+	go func() {
+		msg, h, err := server.Recv()
+		if err != nil {
+			return
+		}
+		if e, ok := msg.(Echo); ok && !e.Reply {
+			_ = server.SendXID(Echo{Reply: true, Data: e.Data}, h.XID)
+		}
+	}()
+	if !client.SetIOTimeout(time.Second) {
+		t.Fatal("net.Pipe should support deadlines")
+	}
+	if err := client.Ping([]byte("alive?")); err != nil {
+		t.Fatal(err)
+	}
+	// A mute peer makes the next probe time out instead of hanging.
+	client.SetIOTimeout(100 * time.Millisecond)
+	start := time.Now()
+	if err := client.Ping([]byte("anyone?")); err == nil {
+		t.Fatal("ping against a mute peer succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("ping took %v, want prompt timeout", elapsed)
 	}
 }
 

@@ -230,3 +230,38 @@ type ErrorMsg struct {
 
 // MsgType implements Message.
 func (ErrorMsg) MsgType() MsgType { return TypeError }
+
+// Error codes carried by ErrorMsg.
+const (
+	// ErrCodeRoleStale rejects a Master/Slave RoleRequest whose generation
+	// ID is behind the switch's recorded one (the OpenFlow 1.3 stale-message
+	// defense against delayed mastership claims). Data carries the switch's
+	// current generation ID as 8 big-endian bytes, so the controller can
+	// resynchronize and retry.
+	ErrCodeRoleStale uint16 = 1
+)
+
+// RemoteError is a peer's ErrorMsg surfaced as a Go error by the
+// request/reply helpers.
+type RemoteError struct {
+	Code uint16
+	Data []byte
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("openflow: remote error code %d (%d data bytes)", e.Code, len(e.Data))
+}
+
+// StaleGeneration decodes the switch's current generation ID from a
+// role-stale error; ok is false for other codes or malformed payloads.
+func (e *RemoteError) StaleGeneration() (gen uint64, ok bool) {
+	if e.Code != ErrCodeRoleStale || len(e.Data) < 8 {
+		return 0, false
+	}
+	var g uint64
+	for _, b := range e.Data[:8] {
+		g = g<<8 | uint64(b)
+	}
+	return g, true
+}

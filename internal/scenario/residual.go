@@ -1,0 +1,56 @@
+package scenario
+
+import (
+	"fmt"
+
+	"pmedic/internal/core"
+	"pmedic/internal/topo"
+)
+
+// Residual compiles the instance that remains after demoting the given
+// offline switches to legacy mode for good — the re-planning step of a
+// recovery push that found some switches unreachable over the control
+// channel. The returned problem keeps the original switch, controller, and
+// flow index spaces (so solutions translate positionally), but:
+//
+//   - every eligible pair at a demoted switch is removed, making the switch
+//     worthless to map (solvers leave it unmapped and its flows fall back to
+//     whatever programmability their other pairs can fund);
+//   - the demoted switches' γ is zeroed, so whole-switch capacity prechecks
+//     and the ideal delay budget no longer account flows that cannot be
+//     re-homed there.
+//
+// pairMap translates pair indices: pairMap[k] is the index in the original
+// problem's Pairs of the residual problem's Pairs[k].
+func (inst *Instance) Residual(demoted map[topo.NodeID]bool) (*core.Problem, []int, error) {
+	p := inst.Problem
+	r := &core.Problem{
+		NumSwitches:    p.NumSwitches,
+		NumControllers: p.NumControllers,
+		NumFlows:       p.NumFlows,
+		Rest:           append([]int(nil), p.Rest...),
+		Gamma:          append([]int(nil), p.Gamma...),
+		Delay:          append([][]float64(nil), p.Delay...), // rows shared, read-only
+		Lambda:         p.Lambda,
+	}
+	excluded := make([]bool, p.NumSwitches)
+	for i, sw := range inst.Switches {
+		if demoted[sw] {
+			excluded[i] = true
+			r.Gamma[i] = 0
+		}
+	}
+	var pairMap []int
+	for k, pr := range p.Pairs {
+		if excluded[pr.Switch] {
+			continue
+		}
+		r.Pairs = append(r.Pairs, pr)
+		pairMap = append(pairMap, k)
+	}
+	if err := r.Finalize(); err != nil {
+		return nil, nil, fmt.Errorf("scenario: residual instance: %w", err)
+	}
+	r.BudgetMs = r.IdealDelayBudget()
+	return r, pairMap, nil
+}

@@ -1,9 +1,9 @@
 package sdnsim
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
-	"net"
 	"sync"
 
 	"pmedic/internal/core"
@@ -24,6 +24,8 @@ type Agent struct {
 	mu       sync.Mutex
 	sw       *Switch
 	role     openflow.ControllerRole
+	gen      uint64
+	genSet   bool
 	flowMods int
 
 	wg   sync.WaitGroup
@@ -56,6 +58,14 @@ func (a *Agent) Role() openflow.ControllerRole {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.role
+}
+
+// GenerationID returns the highest Master/Slave generation ID accepted so
+// far; ok is false while no such role request has been accepted.
+func (a *Agent) GenerationID() (gen uint64, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.gen, a.genSet
 }
 
 // FlowModsApplied returns the number of flow-mods the agent has applied.
@@ -117,10 +127,7 @@ func (a *Agent) serve(conn *openflow.Conn) {
 				Hybrid:     a.sw.Pipeline == PipelineHybrid,
 			}, h.XID)
 		case openflow.RoleRequest:
-			a.mu.Lock()
-			a.role = m.Role
-			a.mu.Unlock()
-			err = conn.SendXID(openflow.RoleReply{Role: m.Role, GenerationID: m.GenerationID}, h.XID)
+			err = a.handleRole(conn, m, h)
 		case openflow.FlowMod:
 			a.mu.Lock()
 			switch m.Command {
@@ -150,95 +157,80 @@ func (a *Agent) serve(conn *openflow.Conn) {
 	}
 }
 
+// handleRole enforces the OpenFlow 1.3 generation-ID semantics: Master and
+// Slave requests carry a monotonically increasing (circularly compared)
+// generation ID, and a request older than the highest one seen is refused
+// with a role-stale error carrying the current generation — the defense
+// against a delayed mastership claim from a stale controller re-taking a
+// switch after a newer recovery already claimed it.
+func (a *Agent) handleRole(conn *openflow.Conn, m openflow.RoleRequest, h openflow.Header) error {
+	a.mu.Lock()
+	stale := false
+	if m.Role == openflow.RoleMaster || m.Role == openflow.RoleSlave {
+		if a.genSet && int64(m.GenerationID-a.gen) < 0 {
+			stale = true
+		} else {
+			a.gen, a.genSet = m.GenerationID, true
+		}
+	}
+	cur := a.gen
+	if !stale {
+		a.role = m.Role
+	}
+	a.mu.Unlock()
+	if stale {
+		var data [8]byte
+		binary.BigEndian.PutUint64(data[:], cur)
+		return conn.SendXID(openflow.ErrorMsg{Code: openflow.ErrCodeRoleStale, Data: data[:]}, h.XID)
+	}
+	return conn.SendXID(openflow.RoleReply{Role: m.Role, GenerationID: m.GenerationID}, h.XID)
+}
+
 // ErrAgentMissing reports a recovery push that has no agent for a switch it
 // must reconfigure.
 var ErrAgentMissing = errors.New("sdnsim: no agent for switch")
+
+// AgentAddrs extracts the dialable address registry of an agent set, the
+// form the resilient push driver consumes.
+func AgentAddrs(agents map[topo.NodeID]*Agent) map[topo.NodeID]string {
+	addrs := make(map[topo.NodeID]string, len(agents))
+	for id, a := range agents {
+		addrs[id] = a.Addr()
+	}
+	return addrs
+}
 
 // PushRecovery delivers a switch-mapping recovery over the wire: for every
 // offline switch with an agent, it dials the agent, claims mastership, sends
 // FlowDelete for pairs left in legacy mode and FlowAdd for SDN-mode pairs
 // (re-asserting the flow's current next hop), and synchronizes with a
-// barrier. It returns the number of flow-mods sent.
+// barrier. Replies are matched by XID, so interleaved Echo traffic is
+// tolerated, and every dial and I/O operation is bounded by the default
+// timeouts. It returns the number of flow-mods acknowledged.
+//
+// PushRecovery is the strict, fail-fast driver: the first switch that cannot
+// be reconfigured aborts the push. PushRecoveryResilient is the
+// partial-failure-tolerant driver.
 func PushRecovery(
 	agents map[topo.NodeID]*Agent,
 	flows *flow.Set,
 	inst *scenario.Instance,
 	sol *core.Solution,
 ) (int, error) {
-	if sol.PairController != nil {
-		return 0, errors.New("sdnsim: flow-level solutions need a middle layer, not a switch mapping")
-	}
-	p := inst.Problem
-	// Mode per (switch, flow).
-	type key struct {
-		sw topo.NodeID
-		fl flow.ID
-	}
-	sdn := make(map[key]bool, len(p.Pairs))
-	for k, pr := range p.Pairs {
-		sdn[key{inst.Switches[pr.Switch], inst.FlowIDs[pr.Flow]}] = sol.Active[k]
+	plan, err := buildPushPlan(flows, inst, sol)
+	if err != nil {
+		return 0, err
 	}
 	sent := 0
-	for i, swID := range inst.Switches {
-		if sol.SwitchController[i] < 0 {
-			continue // whole switch stays legacy; nobody can talk to it
-		}
-		agent, ok := agents[swID]
+	for _, sp := range plan {
+		agent, ok := agents[sp.sw]
 		if !ok {
-			return sent, fmt.Errorf("%w: %d", ErrAgentMissing, swID)
+			return sent, fmt.Errorf("%w: %d", ErrAgentMissing, sp.sw)
 		}
-		conn, err := openflow.Dial(agent.Addr())
+		acked, _, err := pushOnce(defaultDial, agent.Addr(), 1, sp.mods,
+			openflow.DefaultDialTimeout, openflow.DefaultDialTimeout)
+		sent += acked
 		if err != nil {
-			return sent, err
-		}
-		if _, err := conn.Send(openflow.RoleRequest{Role: openflow.RoleMaster, GenerationID: 1}); err != nil {
-			_ = conn.Close()
-			return sent, err
-		}
-		if _, _, err := conn.Recv(); err != nil { // role reply
-			_ = conn.Close()
-			return sent, err
-		}
-		for _, k := range p.PairsAtSwitch(i) {
-			pr := p.Pairs[k]
-			lid := inst.FlowIDs[pr.Flow]
-			f := &flows.Flows[lid]
-			var msg openflow.Message
-			if sdn[key{swID, lid}] {
-				next := f.Dst
-				for h := 0; h+1 < len(f.Path); h++ {
-					if f.Path[h] == swID {
-						next = f.Path[h+1]
-						break
-					}
-				}
-				msg = openflow.FlowMod{
-					Command:  openflow.FlowAdd,
-					Priority: 100,
-					Match:    openflow.Match{FlowID: uint32(lid), Src: uint32(f.Src), Dst: uint32(f.Dst)},
-					NextHop:  uint32(next),
-				}
-			} else {
-				msg = openflow.FlowMod{
-					Command: openflow.FlowDelete,
-					Match:   openflow.Match{FlowID: uint32(lid), Src: uint32(f.Src), Dst: uint32(f.Dst)},
-				}
-			}
-			if _, err := conn.Send(msg); err != nil {
-				_ = conn.Close()
-				return sent, err
-			}
-			sent++
-		}
-		if _, err := conn.Send(openflow.BarrierRequest{}); err != nil {
-			_ = conn.Close()
-			return sent, err
-		}
-		if _, _, err := conn.Recv(); err != nil { // barrier reply
-			_ = conn.Close()
-			return sent, err
-		}
-		if err := conn.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
 			return sent, err
 		}
 	}

@@ -1,0 +1,558 @@
+package sdnsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pmedic/internal/core"
+	"pmedic/internal/flow"
+	"pmedic/internal/openflow"
+	"pmedic/internal/scenario"
+	"pmedic/internal/topo"
+)
+
+// DialFunc opens a control channel to a switch agent. The default dials
+// plain TCP; tests substitute a chaos-wrapped dialer to inject control-plane
+// faults under the driver.
+type DialFunc func(addr string, timeout time.Duration) (*openflow.Conn, error)
+
+func defaultDial(addr string, timeout time.Duration) (*openflow.Conn, error) {
+	return openflow.DialTimeout(addr, timeout)
+}
+
+// PushOptions tunes the resilient recovery driver. The zero value selects
+// the defaults noted per field.
+type PushOptions struct {
+	// MaxAttempts bounds the pushes tried per switch per round (default 4).
+	MaxAttempts int
+	// BaseBackoff and MaxBackoff shape the capped exponential backoff
+	// between attempts (defaults 25ms and 400ms); a seeded jitter of up to
+	// one BaseBackoff is added so concurrent retries decorrelate.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// DialTimeout bounds connect + handshake per attempt (default 2s);
+	// IOTimeout bounds every read and write on an open channel (default 2s).
+	DialTimeout time.Duration
+	IOTimeout   time.Duration
+	// Concurrency caps the switches pushed in parallel (default 8).
+	Concurrency int
+	// Seed drives the retry jitter deterministically (per-switch streams are
+	// derived from it).
+	Seed int64
+	// GenerationID is the first Master generation claimed (default 1). The
+	// driver raises it automatically when an agent reports a stale claim.
+	GenerationID uint64
+	// Dial replaces the transport (default: plain TCP via openflow).
+	Dial DialFunc
+	// DisableReplan skips re-planning through core.PM after demotions; the
+	// demoted switches' pairs are simply deactivated instead.
+	DisableReplan bool
+}
+
+func (o PushOptions) withDefaults() PushOptions {
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 4
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 25 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 400 * time.Millisecond
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.IOTimeout <= 0 {
+		o.IOTimeout = 2 * time.Second
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 8
+	}
+	if o.GenerationID == 0 {
+		o.GenerationID = 1
+	}
+	if o.Dial == nil {
+		o.Dial = defaultDial
+	}
+	return o
+}
+
+// PushStatus classifies a switch's outcome in a resilient push.
+type PushStatus int
+
+// Push outcomes.
+const (
+	// PushLegacyPlanned: the plan left the whole switch in legacy mode;
+	// nothing was pushed.
+	PushLegacyPlanned PushStatus = iota + 1
+	// PushApplied: the switch acknowledged its full configuration.
+	PushApplied
+	// PushDemoted: the switch stayed unreachable through every retry and was
+	// demoted to legacy mode; its pairs were re-planned away.
+	PushDemoted
+)
+
+// String renders the status.
+func (s PushStatus) String() string {
+	switch s {
+	case PushLegacyPlanned:
+		return "legacy-planned"
+	case PushApplied:
+		return "applied"
+	case PushDemoted:
+		return "demoted"
+	default:
+		return fmt.Sprintf("sdnsim.PushStatus(%d)", int(s))
+	}
+}
+
+// SwitchOutcome reports how one offline switch fared under the resilient
+// push.
+type SwitchOutcome struct {
+	// Switch is the switch's node ID; Index its position in the instance's
+	// switch order.
+	Switch topo.NodeID
+	Index  int
+	Status PushStatus
+	// Attempts counts connection attempts across all rounds.
+	Attempts int
+	// FlowModsAcked counts flow-mods confirmed behind a barrier.
+	FlowModsAcked int
+	// Dirty marks a demoted switch that may hold partial state: some
+	// flow-mods were sent on a connection that died before its barrier
+	// confirmed them.
+	Dirty bool
+	// Err is the last error of a demoted switch.
+	Err error
+}
+
+// RecoveryReport is the structured result of a resilient push: what was
+// planned, what the network actually accepted, and how hard it was to get
+// there.
+type RecoveryReport struct {
+	// Outcomes has one entry per offline switch, in instance switch order.
+	Outcomes []SwitchOutcome
+	// FlowModsAcked totals the acknowledged flow-mods.
+	FlowModsAcked int
+	// Demoted lists the switches demoted to legacy, ascending.
+	Demoted []topo.NodeID
+	// Replanned reports whether a residual re-plan (through core.PM) ran.
+	Replanned bool
+	// Rounds counts push rounds (1 = no demotions, each re-plan adds one).
+	Rounds int
+	// Planned evaluates the input solution; Achieved evaluates Final, the
+	// solution actually in force after demotions and re-planning. Comparing
+	// the two quantifies the degradation the control-plane faults cost.
+	Planned  *core.Report
+	Achieved *core.Report
+	Final    *core.Solution
+}
+
+// switchPush is one switch's desired configuration compiled to wire
+// messages: cfg records, per offline flow at the switch, whether a flow
+// entry must exist (SDN mode) or not (legacy mode), and mods realizes cfg.
+type switchPush struct {
+	index int
+	sw    topo.NodeID
+	cfg   map[flow.ID]bool
+	mods  []openflow.FlowMod
+}
+
+// buildPushPlan compiles a switch-mapping solution into per-switch pushes,
+// in instance switch order. Unmapped switches are absent: nobody manages
+// them, so nothing is pushed.
+func buildPushPlan(flows *flow.Set, inst *scenario.Instance, sol *core.Solution) ([]switchPush, error) {
+	if sol.PairController != nil {
+		return nil, errors.New("sdnsim: flow-level solutions need a middle layer, not a switch mapping")
+	}
+	p := inst.Problem
+	var plan []switchPush
+	for i, swID := range inst.Switches {
+		if sol.SwitchController[i] < 0 {
+			continue
+		}
+		sp := switchPush{index: i, sw: swID, cfg: make(map[flow.ID]bool)}
+		for _, k := range p.PairsAtSwitch(i) {
+			pr := p.Pairs[k]
+			lid := inst.FlowIDs[pr.Flow]
+			f := &flows.Flows[lid]
+			if sol.Active[k] {
+				sp.cfg[lid] = true
+				sp.mods = append(sp.mods, addMod(f, swID))
+			} else {
+				sp.cfg[lid] = false
+				sp.mods = append(sp.mods, deleteMod(f))
+			}
+		}
+		plan = append(plan, sp)
+	}
+	return plan, nil
+}
+
+// addMod asserts a flow's SDN entry at sw: forward to the flow's current
+// next hop after sw (the destination when sw is last before it).
+func addMod(f *flow.Flow, sw topo.NodeID) openflow.FlowMod {
+	next := f.Dst
+	for h := 0; h+1 < len(f.Path); h++ {
+		if f.Path[h] == sw {
+			next = f.Path[h+1]
+			break
+		}
+	}
+	return openflow.FlowMod{
+		Command:  openflow.FlowAdd,
+		Priority: 100,
+		Match:    openflow.Match{FlowID: uint32(f.ID), Src: uint32(f.Src), Dst: uint32(f.Dst)},
+		NextHop:  uint32(next),
+	}
+}
+
+// deleteMod removes a flow's entry at a switch left in legacy mode for it.
+func deleteMod(f *flow.Flow) openflow.FlowMod {
+	return openflow.FlowMod{
+		Command: openflow.FlowDelete,
+		Match:   openflow.Match{FlowID: uint32(f.ID), Src: uint32(f.Src), Dst: uint32(f.Dst)},
+	}
+}
+
+// pushOnce performs one complete push attempt against addr: dial, liveness
+// probe, mastership under gen, all mods, then a barrier. acked is len(mods)
+// on full success; sentAny reports whether any flow-mod left on a connection
+// whose barrier never confirmed it (the partial-state marker).
+func pushOnce(dial DialFunc, addr string, gen uint64, mods []openflow.FlowMod, dialTO, ioTO time.Duration) (acked int, sentAny bool, err error) {
+	conn, err := dial(addr, dialTO)
+	if err != nil {
+		return 0, false, err
+	}
+	defer func() { _ = conn.Close() }()
+	conn.SetIOTimeout(ioTO)
+	if err := conn.Ping([]byte("pmedic")); err != nil {
+		return 0, false, err
+	}
+	msg, _, err := conn.Request(openflow.RoleRequest{Role: openflow.RoleMaster, GenerationID: gen})
+	if err != nil {
+		return 0, false, err
+	}
+	if _, ok := msg.(openflow.RoleReply); !ok {
+		return 0, false, fmt.Errorf("sdnsim: push %s: unexpected %v to role request", addr, msg.MsgType())
+	}
+	for _, m := range mods {
+		if _, err := conn.Send(m); err != nil {
+			return 0, true, err
+		}
+		sentAny = true
+	}
+	msg, _, err = conn.Request(openflow.BarrierRequest{})
+	if err != nil {
+		return 0, sentAny, err
+	}
+	if _, ok := msg.(openflow.BarrierReply); !ok {
+		return 0, sentAny, fmt.Errorf("sdnsim: push %s: unexpected %v to barrier", addr, msg.MsgType())
+	}
+	return len(mods), false, nil
+}
+
+// cfgEqual compares two desired configurations, treating only identical
+// key sets with identical modes as equal.
+func cfgEqual(a, b map[flow.ID]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		w, ok := b[k]
+		if !ok || v != w {
+			return false
+		}
+	}
+	return true
+}
+
+// cloneSolution deep-copies the fields the driver mutates.
+func cloneSolution(s *core.Solution) *core.Solution {
+	c := *s
+	c.SwitchController = append([]int(nil), s.SwitchController...)
+	c.Active = append([]bool(nil), s.Active...)
+	if s.PairController != nil {
+		c.PairController = append([]int(nil), s.PairController...)
+	}
+	return &c
+}
+
+// PushRecoveryResilient delivers a switch-mapping recovery over a faulty
+// control channel, degrading gracefully instead of failing atomically:
+//
+//   - every mapped switch is pushed concurrently (role, flow-mods, barrier,
+//     all XID-matched), with transient faults retried under capped
+//     exponential backoff plus seeded jitter;
+//   - a switch that stays unreachable through every retry is demoted to
+//     legacy mode, and the residual instance — the original minus the
+//     demoted switches' pairs — is re-planned through core.PM so the freed
+//     controller capacity can fund programmability elsewhere;
+//   - re-planned deltas are pushed in further rounds (switches whose
+//     acknowledged configuration already matches are skipped; switches a
+//     re-plan unmapped after they were configured get their entries cleaned
+//     up) until the plan and the network agree or everything reachable has
+//     been tried.
+//
+// addrs maps each offline switch to its agent's address (see AgentAddrs); a
+// mapped switch without an address is treated as permanently unreachable.
+// The returned report carries per-switch outcomes and the planned vs.
+// achieved evaluation; err is reserved for structural failures (a
+// flow-level solution, an unevaluable instance), never for control-channel
+// faults.
+func PushRecoveryResilient(
+	addrs map[topo.NodeID]string,
+	flows *flow.Set,
+	inst *scenario.Instance,
+	sol *core.Solution,
+	opts PushOptions,
+) (*RecoveryReport, error) {
+	opts = opts.withDefaults()
+	if sol.PairController != nil {
+		return nil, errors.New("sdnsim: flow-level solutions need a middle layer, not a switch mapping")
+	}
+	planned, err := inst.Evaluate(sol)
+	if err != nil {
+		return nil, fmt.Errorf("sdnsim: push: planned solution does not evaluate: %w", err)
+	}
+
+	rep := &RecoveryReport{Planned: planned}
+	rep.Outcomes = make([]SwitchOutcome, len(inst.Switches))
+	for i, swID := range inst.Switches {
+		rep.Outcomes[i] = SwitchOutcome{Switch: swID, Index: i, Status: PushLegacyPlanned}
+	}
+
+	cur := cloneSolution(sol)
+	gen := atomic.Uint64{}
+	gen.Store(opts.GenerationID)
+	demoted := make(map[topo.NodeID]bool)
+	// installed[sw] is the last configuration the switch acknowledged behind
+	// a barrier; nil means the switch was never successfully pushed.
+	installed := make(map[topo.NodeID]map[flow.ID]bool)
+
+	maxRounds := len(inst.Switches) + 1
+	for round := 0; round < maxRounds; round++ {
+		plan, err := buildPushPlan(flows, inst, cur)
+		if err != nil {
+			return nil, err
+		}
+		work := planDelta(plan, inst, demoted, installed)
+		if len(work) == 0 {
+			break
+		}
+		rep.Rounds++
+
+		var (
+			wg      sync.WaitGroup
+			mu      sync.Mutex
+			failed  []topo.NodeID
+			slots   = make(chan struct{}, opts.Concurrency)
+			updated = make(map[topo.NodeID]map[flow.ID]bool)
+		)
+		for _, sp := range work {
+			wg.Add(1)
+			slots <- struct{}{}
+			go func(sp switchPush) {
+				defer func() {
+					<-slots
+					wg.Done()
+				}()
+				out := &rep.Outcomes[sp.index]
+				acked, dirty, err := pushSwitch(addrs, sp, &gen, opts)
+				mu.Lock()
+				defer mu.Unlock()
+				out.Attempts += acked.attempts
+				if err == nil {
+					out.Status = PushApplied
+					out.FlowModsAcked += acked.mods
+					out.Dirty = false
+					out.Err = nil
+					updated[sp.sw] = sp.cfg
+					return
+				}
+				out.Status = PushDemoted
+				out.Err = err
+				if dirty {
+					out.Dirty = true
+				}
+				failed = append(failed, sp.sw)
+			}(sp)
+		}
+		wg.Wait()
+		for sw, cfg := range updated {
+			installed[sw] = cfg
+		}
+		if len(failed) == 0 {
+			break
+		}
+		for _, sw := range failed {
+			demoted[sw] = true
+		}
+		cur = replan(inst, sol, cur, demoted, &rep.Replanned, opts.DisableReplan)
+	}
+
+	// Demoted switches are legacy in the achieved solution regardless of
+	// what the re-plan said.
+	final := cloneSolution(cur)
+	for i, swID := range inst.Switches {
+		if demoted[swID] {
+			final.SwitchController[i] = -1
+			for _, k := range inst.Problem.PairsAtSwitch(i) {
+				final.Active[k] = false
+			}
+			rep.Demoted = append(rep.Demoted, swID)
+		}
+	}
+	sort.Slice(rep.Demoted, func(a, b int) bool { return rep.Demoted[a] < rep.Demoted[b] })
+	for i := range rep.Outcomes {
+		rep.FlowModsAcked += rep.Outcomes[i].FlowModsAcked
+	}
+	achieved, err := inst.Evaluate(final)
+	if err != nil {
+		return nil, fmt.Errorf("sdnsim: push: achieved solution does not evaluate: %w", err)
+	}
+	rep.Final = final
+	rep.Achieved = achieved
+	return rep, nil
+}
+
+// planDelta selects the pushes still needed: mapped switches whose
+// acknowledged configuration differs from the plan, plus cleanups for
+// switches a re-plan unmapped after they were already configured. Demoted
+// switches are excluded.
+func planDelta(plan []switchPush, inst *scenario.Instance, demoted map[topo.NodeID]bool, installed map[topo.NodeID]map[flow.ID]bool) []switchPush {
+	inPlan := make(map[topo.NodeID]bool, len(plan))
+	var work []switchPush
+	for _, sp := range plan {
+		inPlan[sp.sw] = true
+		if demoted[sp.sw] {
+			continue
+		}
+		if have, ok := installed[sp.sw]; ok && cfgEqual(have, sp.cfg) {
+			continue
+		}
+		work = append(work, sp)
+	}
+	// Cleanups: previously configured switches no longer in the plan must
+	// drop the entries we installed, or stale SDN state would shadow the
+	// legacy pipeline.
+	for i, swID := range inst.Switches {
+		if inPlan[swID] || demoted[swID] {
+			continue
+		}
+		have := installed[swID]
+		sp := switchPush{index: i, sw: swID, cfg: make(map[flow.ID]bool)}
+		for lid, present := range have {
+			sp.cfg[lid] = false
+			if present {
+				f := &inst.Flows.Flows[lid]
+				sp.mods = append(sp.mods, deleteMod(f))
+			}
+		}
+		if len(sp.mods) > 0 && !cfgEqual(have, sp.cfg) {
+			work = append(work, sp)
+		}
+	}
+	sort.Slice(work, func(a, b int) bool { return work[a].index < work[b].index })
+	return work
+}
+
+// attemptResult carries a worker's bookkeeping out of the retry loop.
+type attemptResult struct {
+	attempts int
+	mods     int
+}
+
+// pushSwitch drives one switch's retry loop: bounded attempts, capped
+// exponential backoff with seeded jitter, and generation resynchronization
+// on stale-role errors. dirty reports whether any attempt left flow-mods
+// unconfirmed.
+func pushSwitch(addrs map[topo.NodeID]string, sp switchPush, gen *atomic.Uint64, opts PushOptions) (attemptResult, bool, error) {
+	res := attemptResult{}
+	addr, ok := addrs[sp.sw]
+	if !ok {
+		return res, false, fmt.Errorf("%w: %d", ErrAgentMissing, sp.sw)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed ^ (0x5DEECE66D * int64(sp.sw+1))))
+	dirty := false
+	var lastErr error
+	for attempt := 1; attempt <= opts.MaxAttempts; attempt++ {
+		res.attempts++
+		acked, sentAny, err := pushOnce(opts.Dial, addr, gen.Load(), sp.mods, opts.DialTimeout, opts.IOTimeout)
+		if sentAny {
+			dirty = true
+		}
+		if err == nil {
+			res.mods = acked
+			return res, false, nil
+		}
+		lastErr = err
+		var re *openflow.RemoteError
+		if errors.As(err, &re) {
+			if g, ok := re.StaleGeneration(); ok {
+				// Lift the driver's generation past the switch's and retry
+				// immediately: the claim itself was fine, only its epoch was
+				// behind.
+				for {
+					curGen := gen.Load()
+					if int64(g-curGen) < 0 || gen.CompareAndSwap(curGen, g+1) {
+						break
+					}
+				}
+				continue
+			}
+		}
+		if attempt < opts.MaxAttempts {
+			time.Sleep(backoff(opts, rng, attempt))
+		}
+	}
+	return res, dirty, lastErr
+}
+
+// backoff returns the sleep before retry #attempt: BaseBackoff doubled per
+// attempt, capped at MaxBackoff, plus up to one BaseBackoff of jitter.
+func backoff(opts PushOptions, rng *rand.Rand, attempt int) time.Duration {
+	d := opts.BaseBackoff << (attempt - 1)
+	if d > opts.MaxBackoff || d <= 0 {
+		d = opts.MaxBackoff
+	}
+	return d + time.Duration(rng.Int63n(int64(opts.BaseBackoff)))
+}
+
+// replan recomputes the recovery after demotions. With re-planning enabled
+// it solves the residual instance through core.PM and translates the result
+// back into the original problem's pair indexing; otherwise (or when the
+// residual cannot be built) it strips the demoted switches from the current
+// solution.
+func replan(inst *scenario.Instance, orig, cur *core.Solution, demoted map[topo.NodeID]bool, replanned *bool, disabled bool) *core.Solution {
+	if !disabled {
+		if rp, pairMap, err := inst.Residual(demoted); err == nil {
+			if rsol, err := core.PM(rp); err == nil {
+				next := core.NewSolution(orig.Algorithm+"+replan", inst.Problem)
+				copy(next.SwitchController, rsol.SwitchController)
+				for k, on := range rsol.Active {
+					if on {
+						next.Active[pairMap[k]] = true
+					}
+				}
+				*replanned = true
+				return next
+			}
+		}
+	}
+	next := cloneSolution(cur)
+	for i, swID := range inst.Switches {
+		if demoted[swID] {
+			next.SwitchController[i] = -1
+			for _, k := range inst.Problem.PairsAtSwitch(i) {
+				next.Active[k] = false
+			}
+		}
+	}
+	return next
+}
