@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test test-race
+.PHONY: check fmt vet build test test-race bench
 
 check: fmt vet build test-race
 
@@ -19,3 +19,13 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# bench runs the root benchmark suite once (fixed seeds, -benchtime 1x) and
+# writes the raw `go test -json` stream to BENCH_<n>.json, where n is one
+# past the highest existing baseline — compare files across commits to track
+# drift.
+bench:
+	@n=1; while [ -e "BENCH_$$n.json" ]; do n=$$((n+1)); done; \
+	out="BENCH_$$n.json"; \
+	echo "writing $$out"; \
+	$(GO) test -json -run '^$$' -bench . -benchtime 1x . > "$$out" || { rm -f "$$out"; exit 1; }

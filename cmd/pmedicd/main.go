@@ -1,0 +1,286 @@
+// Command pmedicd runs the online recovery daemon over a simulated SD-WAN:
+// it boots the ATT deployment with an openflow agent per switch and an echo
+// liveness endpoint per controller, starts the heartbeat failure detector
+// (internal/monitor) and the event-driven recovery orchestrator
+// (internal/medic), and serves the daemon's state over HTTP.
+//
+// Controller failures are injected either externally (the status endpoint
+// tells you where the echo endpoints listen) or with the built-in chaos
+// script: -kill fails a controller set after -kill-after, and -revive-after
+// brings it back, demonstrating the full detect → re-plan → push →
+// fail-back cycle.
+//
+// Usage:
+//
+//	pmedicd [-listen 127.0.0.1:8080] [-interval 500ms] [-timeout 0]
+//	        [-threshold 3] [-debounce 0] [-jitter 0] [-seed 1]
+//	        [-kill 3,4] [-kill-after 5s] [-revive-after 10s]
+//	        [-run-for 0] [-dry-run]
+//
+// Durations given as 0 pick the detector's defaults (timeout = interval,
+// jitter = interval/4, debounce = 2×interval). -run-for 0 runs until
+// interrupted. -dry-run builds the whole stack, prints the wiring, and
+// exits without serving — the CI smoke mode.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"pmedic/internal/flow"
+	"pmedic/internal/medic"
+	"pmedic/internal/monitor"
+	"pmedic/internal/openflow"
+	"pmedic/internal/sdnsim"
+	"pmedic/internal/topo"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pmedicd:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	listen      string
+	interval    time.Duration
+	timeout     time.Duration
+	threshold   int
+	debounce    time.Duration
+	jitter      time.Duration
+	seed        int64
+	kill        []int
+	killAfter   time.Duration
+	reviveAfter time.Duration
+	runFor      time.Duration
+	dryRun      bool
+}
+
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("pmedicd", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:8080", "HTTP status listen address")
+	interval := fs.Duration("interval", 500*time.Millisecond, "probe interval per controller")
+	timeout := fs.Duration("timeout", 0, "per-probe timeout (0 = interval)")
+	threshold := fs.Int("threshold", 3, "consecutive misses before a controller is declared down")
+	debounce := fs.Duration("debounce", 0, "failure-coalescing window (0 = 2×interval)")
+	jitter := fs.Duration("jitter", 0, "probe schedule jitter (0 = interval/4)")
+	seed := fs.Int64("seed", 1, "seed for probe schedules and push retry jitter")
+	kill := fs.String("kill", "", "comma-separated controller indices the chaos script kills")
+	killAfter := fs.Duration("kill-after", 5*time.Second, "delay before the chaos kill")
+	reviveAfter := fs.Duration("revive-after", 10*time.Second, "delay before the killed controllers return (0 = never)")
+	runFor := fs.Duration("run-for", 0, "total run time (0 = until interrupted)")
+	dryRun := fs.Bool("dry-run", false, "build the stack, print the wiring, and exit")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	cfg := config{
+		listen:      *listen,
+		interval:    *interval,
+		timeout:     *timeout,
+		threshold:   *threshold,
+		debounce:    *debounce,
+		jitter:      *jitter,
+		seed:        *seed,
+		killAfter:   *killAfter,
+		reviveAfter: *reviveAfter,
+		runFor:      *runFor,
+		dryRun:      *dryRun,
+	}
+	if *kill != "" {
+		for _, part := range strings.Split(*kill, ",") {
+			j, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return config{}, fmt.Errorf("-kill: %w", err)
+			}
+			cfg.kill = append(cfg.kill, j)
+		}
+	}
+	return cfg, nil
+}
+
+func run(args []string, out io.Writer) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+
+	dep, err := topo.ATT()
+	if err != nil {
+		return err
+	}
+	flows, err := flow.Generate(dep.Graph, flow.Options{})
+	if err != nil {
+		return err
+	}
+	network, err := sdnsim.New(dep, flows)
+	if err != nil {
+		return err
+	}
+	for _, j := range cfg.kill {
+		if j < 0 || j >= len(network.Controllers) {
+			return fmt.Errorf("-kill: controller %d out of range [0,%d)", j, len(network.Controllers))
+		}
+	}
+
+	// One openflow agent per switch.
+	agents := make(map[topo.NodeID]*sdnsim.Agent, len(network.Switches))
+	defer func() {
+		for _, a := range agents {
+			_ = a.Close()
+		}
+	}()
+	for _, sw := range network.Switches {
+		a, err := sdnsim.ServeSwitch(sw, "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		agents[sw.ID] = a
+	}
+
+	// One echo liveness endpoint per controller, wired to the lifecycle hook.
+	echos := make([]*openflow.EchoServer, len(network.Controllers))
+	defer func() {
+		for _, es := range echos {
+			if es != nil {
+				_ = es.Close()
+			}
+		}
+	}()
+	for j := range network.Controllers {
+		es, err := openflow.ServeEcho("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		echos[j] = es
+	}
+	network.OnControllerChange = func(j int, alive bool) { echos[j].SetAlive(alive) }
+
+	targets := make([]monitor.Target, len(network.Controllers))
+	for j := range network.Controllers {
+		targets[j] = monitor.Target{ID: j, Name: fmt.Sprintf("controller-%d", j), Addr: echos[j].Addr()}
+	}
+	mon := monitor.New(targets, monitor.Config{
+		Interval:  cfg.interval,
+		Jitter:    cfg.jitter,
+		Timeout:   cfg.timeout,
+		Threshold: cfg.threshold,
+		Debounce:  cfg.debounce,
+		Seed:      cfg.seed,
+	})
+
+	m, err := medic.New(medic.Config{
+		Dep:   dep,
+		Flows: flows,
+		Addrs: sdnsim.AgentAddrs(agents),
+		Net:   network,
+		Push:  sdnsim.PushOptions{Seed: cfg.seed},
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "pmedicd: ATT: %d switches (agents up), %d controllers (echo endpoints up)\n",
+		len(network.Switches), len(network.Controllers))
+	for j := range network.Controllers {
+		fmt.Fprintf(out, "  controller %d: site %d, probe endpoint %s\n",
+			j, dep.Controllers[j].Site, echos[j].Addr())
+	}
+	fmt.Fprintf(out, "  detector: interval=%v threshold=%d\n", cfg.interval, cfg.threshold)
+
+	if cfg.dryRun {
+		fmt.Fprintln(out, "pmedicd: dry run, exiting")
+		return nil
+	}
+
+	ln, err := net.Listen("tcp", cfg.listen)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: medic.Handler(m, mon)}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- srv.Serve(ln) }()
+	fmt.Fprintf(out, "pmedicd: status at http://%s/status\n", ln.Addr())
+
+	mon.Start()
+	m.Start(mon.Events())
+	defer m.Stop()
+	defer mon.Stop()
+
+	// The optional chaos script: kill, then maybe revive.
+	var killC, reviveC <-chan time.Time
+	if len(cfg.kill) > 0 {
+		kt := time.NewTimer(cfg.killAfter)
+		defer kt.Stop()
+		killC = kt.C
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	var runC <-chan time.Time
+	if cfg.runFor > 0 {
+		rt := time.NewTimer(cfg.runFor)
+		defer rt.Stop()
+		runC = rt.C
+	}
+
+	for {
+		select {
+		case <-killC:
+			killC = nil
+			fmt.Fprintf(out, "pmedicd: chaos: killing controllers %v\n", cfg.kill)
+			for _, j := range cfg.kill {
+				if err := network.StopController(j); err != nil {
+					return err
+				}
+			}
+			if cfg.reviveAfter > 0 {
+				rt := time.NewTimer(cfg.reviveAfter)
+				defer rt.Stop()
+				reviveC = rt.C
+			}
+		case <-reviveC:
+			reviveC = nil
+			fmt.Fprintf(out, "pmedicd: chaos: reviving controllers %v\n", cfg.kill)
+			for _, j := range cfg.kill {
+				if err := network.StartController(j); err != nil && !errors.Is(err, sdnsim.ErrControllerAlive) {
+					return err
+				}
+			}
+		case sig := <-stop:
+			fmt.Fprintf(out, "pmedicd: %v, shutting down\n", sig)
+			return shutdown(srv, m, out)
+		case <-runC:
+			fmt.Fprintf(out, "pmedicd: run time elapsed, shutting down\n")
+			return shutdown(srv, m, out)
+		case err := <-httpErr:
+			if errors.Is(err, http.ErrServerClosed) {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// shutdown closes the HTTP server and prints the daemon's final state.
+func shutdown(srv *http.Server, m *medic.Medic, out io.Writer) error {
+	_ = srv.Close()
+	st := m.Status()
+	raw, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "pmedicd: final state:\n%s\n", raw)
+	return nil
+}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -16,12 +17,14 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	dryRun := flag.Bool("dry-run", false, "build the example's inputs and exit before running it")
+	flag.Parse()
+	if err := run(*dryRun); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(dryRun bool) error {
 	dep, err := pmedic.ATT()
 	if err != nil {
 		return err
@@ -31,6 +34,10 @@ func run() error {
 		return err
 	}
 	algs := pmedic.Algorithms(time.Second)[:3]
+	if dryRun {
+		fmt.Println("dry run: inputs built, exiting")
+		return nil
+	}
 	for _, trigger := range []float64{1.0, 0.95, 0.9} {
 		fmt.Printf("=== cascade trigger: controllers fail above %.0f%% load ===\n", 100*trigger)
 		for _, alg := range algs {

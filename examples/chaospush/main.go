@@ -8,6 +8,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"sort"
@@ -23,12 +24,14 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	dryRun := flag.Bool("dry-run", false, "build the example's inputs and exit before running it")
+	flag.Parse()
+	if err := run(*dryRun); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(dryRun bool) error {
 	dep, err := topo.ATT()
 	if err != nil {
 		return err
@@ -52,6 +55,10 @@ func run() error {
 	sol, err := core.PM(inst.Problem)
 	if err != nil {
 		return err
+	}
+	if dryRun {
+		fmt.Println("dry run: inputs built, exiting")
+		return nil
 	}
 
 	// One agent per offline switch — except the first mapped one, which is

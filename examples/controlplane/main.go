@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -14,12 +15,14 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	dryRun := flag.Bool("dry-run", false, "build the example's inputs and exit before running it")
+	flag.Parse()
+	if err := run(*dryRun); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(dryRun bool) error {
 	// Compute a recovery first: case (13, 16), hub switch 13.
 	dep, err := pmedic.ATT()
 	if err != nil {
@@ -36,6 +39,10 @@ func run() error {
 	res, err := pmedic.PM(sc)
 	if err != nil {
 		return err
+	}
+	if dryRun {
+		fmt.Println("dry run: inputs built, exiting")
+		return nil
 	}
 	// Collect the flow-mods for the hub switch.
 	var mods []openflow.FlowMod

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -13,12 +14,14 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	dryRun := flag.Bool("dry-run", false, "build the example's inputs and exit before running it")
+	flag.Parse()
+	if err := run(*dryRun); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(dryRun bool) error {
 	dep, err := pmedic.ATT()
 	if err != nil {
 		return err
@@ -30,6 +33,10 @@ func run() error {
 	net, err := pmedic.Simulate(dep, workload)
 	if err != nil {
 		return err
+	}
+	if dryRun {
+		fmt.Println("dry run: inputs built, exiting")
+		return nil
 	}
 
 	// Pick a flow crossing the Chicago hub as transit.

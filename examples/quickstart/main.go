@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -11,12 +12,14 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	dryRun := flag.Bool("dry-run", false, "build the example's inputs and exit before running it")
+	flag.Parse()
+	if err := run(*dryRun); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(dryRun bool) error {
 	// The embedded ATT-like SD-WAN: 25 switches, 6 controller domains.
 	dep, err := pmedic.ATT()
 	if err != nil {
@@ -33,6 +36,10 @@ func run() error {
 	sc, err := pmedic.NewScenario(dep, workload, []int{3, 4})
 	if err != nil {
 		return err
+	}
+	if dryRun {
+		fmt.Println("dry run: inputs built, exiting")
+		return nil
 	}
 	fmt.Printf("failure case %s: %d offline switches, %d offline flows (%d unrecoverable)\n",
 		sc.Label(), len(sc.Switches), sc.Problem.NumFlows, len(sc.Unrecoverable))

@@ -24,6 +24,7 @@ func run() error {
 	failures := flag.Int("failures", 2, "simultaneous controller failures (1, 2, or 3)")
 	withOptimal := flag.Bool("optimal", false, "include the exact solver (slower)")
 	optTime := flag.Duration("opt-time", 30*time.Second, "per-case budget for the exact solver")
+	dryRun := flag.Bool("dry-run", false, "build the example's inputs and exit before running it")
 	flag.Parse()
 
 	dep, err := pmedic.ATT()
@@ -37,6 +38,10 @@ func run() error {
 	algs := pmedic.Algorithms(*optTime)
 	if !*withOptimal {
 		algs = algs[:3]
+	}
+	if *dryRun {
+		fmt.Println("dry run: inputs built, exiting")
+		return nil
 	}
 	cases, err := pmedic.Sweep(dep, workload, *failures, algs)
 	if err != nil {

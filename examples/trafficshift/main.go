@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -16,12 +17,14 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	dryRun := flag.Bool("dry-run", false, "build the example's inputs and exit before running it")
+	flag.Parse()
+	if err := run(*dryRun); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(dryRun bool) error {
 	dep, err := pmedic.ATT()
 	if err != nil {
 		return err
@@ -38,6 +41,10 @@ func run() error {
 	lm, err := traffic.Loads(workload, m, 250)
 	if err != nil {
 		return err
+	}
+	if dryRun {
+		fmt.Println("dry run: inputs built, exiting")
+		return nil
 	}
 	a, b, util, _ := lm.Hottest()
 	name := func(v pmedic.NodeID) string {

@@ -1,0 +1,392 @@
+// Package medic is the event-driven recovery orchestrator of the online
+// daemon (cmd/pmedicd): it consumes liveness events from internal/monitor
+// and keeps the network's path programmability reconciled with the failure
+// set the detector reports — the paper's PM algorithm, run continuously
+// instead of once.
+//
+// One serialized reconcile loop owns all decisions. Per event batch it:
+//
+//   - compiles the current failure set into a scenario.Instance and solves
+//     it (core.PM by default);
+//   - for successive failures, reuses scenario.Instance.Residual to drop
+//     switches already proven unreachable in this episode, so a new failure
+//     does not re-spend push attempts on known-dead agents;
+//   - pushes the plan through sdnsim.PushRecoveryResilient and adopts the
+//     achieved mapping into the simulator's ownership bookkeeping;
+//   - on controller return, restores the ideal configuration of the
+//     returned domain through sdnsim.RestoreIdeal (fail-back) and re-plans
+//     whatever failures remain.
+//
+// Epochs number the event batches; the generation IDs claimed on the wire
+// are derived from the epoch, so a slow push from an earlier epoch can
+// never re-take a switch from a newer one (the agents refuse the stale
+// claim), and a plan computed for an epoch that queued newer events before
+// it was pushed is discarded, never pushed. Every decision lands in a
+// bounded structured event log, exposed with the rest of the daemon state
+// via the HTTP status handler (status.go).
+package medic
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"pmedic/internal/core"
+	"pmedic/internal/flow"
+	"pmedic/internal/monitor"
+	"pmedic/internal/scenario"
+	"pmedic/internal/sdnsim"
+	"pmedic/internal/topo"
+)
+
+// genStride spaces the wire generation IDs of successive epochs, leaving
+// room for the push driver's stale-claim resynchronization bumps inside an
+// epoch while keeping later epochs strictly larger.
+const genStride = 1 << 20
+
+// PushFunc delivers a recovery plan; it matches sdnsim.PushRecoveryResilient.
+type PushFunc func(addrs map[topo.NodeID]string, flows *flow.Set, inst *scenario.Instance,
+	sol *core.Solution, opts sdnsim.PushOptions) (*sdnsim.RecoveryReport, error)
+
+// RestoreFunc delivers a fail-back; it matches sdnsim.RestoreIdeal.
+type RestoreFunc func(addrs map[topo.NodeID]string, flows *flow.Set, switches []topo.NodeID,
+	opts sdnsim.PushOptions) (*sdnsim.RestoreReport, error)
+
+// Config wires a Medic. Dep, Flows, and Addrs are required.
+type Config struct {
+	Dep   *topo.Deployment
+	Flows *flow.Set
+	// Addrs is the switch-agent address registry pushes are delivered to.
+	Addrs map[topo.NodeID]string
+	// Net, when set, receives ownership bookkeeping (AdoptMapping) after
+	// each successful push. Only the concurrency-safe lifecycle surface of
+	// Network is used.
+	Net *sdnsim.Network
+	// Push tunes the wire drivers; GenerationID and Seed are overridden
+	// per epoch.
+	Push sdnsim.PushOptions
+	// Solve replaces the planning algorithm (default core.PM).
+	Solve func(*core.Problem) (*core.Solution, error)
+	// Pusher and Restorer replace the wire drivers (defaults:
+	// sdnsim.PushRecoveryResilient, sdnsim.RestoreIdeal); tests stub them.
+	Pusher   PushFunc
+	Restorer RestoreFunc
+	// LogSize bounds the structured event log (default 256 entries).
+	LogSize int
+}
+
+// Medic is the reconcile loop. Create with New, feed with Start.
+type Medic struct {
+	cfg Config
+
+	mu sync.Mutex
+	// epoch counts applied event batches; 0 = nothing ever detected.
+	epoch uint64
+	// failed is the controller set currently believed down.
+	failed map[int]bool
+	// pendingRecovered are controllers whose return has been detected but
+	// whose domains have not been restored yet.
+	pendingRecovered []int
+	// unreachable accumulates switches demoted by pushes in this failure
+	// episode; cleared when the failure set empties.
+	unreachable map[topo.NodeID]bool
+	snap        snapshot
+
+	log *eventLog
+
+	events    <-chan monitor.Event
+	startOnce sync.Once
+	stopOnce  sync.Once
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// snapshot is the reconciled state Status reports.
+type snapshot struct {
+	converged bool
+	ideal     bool
+	label     string
+	inst      *scenario.Instance
+	report    *sdnsim.RecoveryReport
+	restores  int
+	updatedAt time.Time
+}
+
+// New validates the wiring and returns an idle Medic.
+func New(cfg Config) (*Medic, error) {
+	if cfg.Dep == nil || cfg.Flows == nil {
+		return nil, errors.New("medic: Dep and Flows are required")
+	}
+	if len(cfg.Addrs) == 0 {
+		return nil, errors.New("medic: empty switch-agent address registry")
+	}
+	if cfg.Solve == nil {
+		cfg.Solve = core.PM
+	}
+	if cfg.Pusher == nil {
+		cfg.Pusher = sdnsim.PushRecoveryResilient
+	}
+	if cfg.Restorer == nil {
+		cfg.Restorer = sdnsim.RestoreIdeal
+	}
+	if cfg.LogSize <= 0 {
+		cfg.LogSize = 256
+	}
+	return &Medic{
+		cfg:         cfg,
+		failed:      make(map[int]bool),
+		unreachable: make(map[topo.NodeID]bool),
+		snap:        snapshot{converged: true, ideal: true, updatedAt: time.Now()},
+		log:         newEventLog(cfg.LogSize),
+		done:        make(chan struct{}),
+	}, nil
+}
+
+// Start launches the reconcile loop over the detector's event stream. The
+// loop exits when the stream closes or Stop is called.
+func (m *Medic) Start(events <-chan monitor.Event) {
+	m.startOnce.Do(func() {
+		m.events = events
+		m.wg.Add(1)
+		go m.run()
+	})
+}
+
+// Stop halts the loop and waits for an in-flight reconcile to finish.
+func (m *Medic) Stop() {
+	m.stopOnce.Do(func() {
+		close(m.done)
+		m.wg.Wait()
+	})
+}
+
+func (m *Medic) run() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.done:
+			return
+		case ev, ok := <-m.events:
+			if !ok {
+				return
+			}
+			m.apply(ev)
+			// Batch whatever the detector queued behind it: correlated
+			// events collapse into one reconcile.
+			for drained := false; !drained; {
+				select {
+				case ev2, ok2 := <-m.events:
+					if !ok2 {
+						drained = true
+						break
+					}
+					m.apply(ev2)
+				default:
+					drained = true
+				}
+			}
+			m.reconcile()
+		}
+	}
+}
+
+// apply folds one detector event into the failure set and advances the
+// epoch.
+func (m *Medic) apply(ev monitor.Event) {
+	m.mu.Lock()
+	m.epoch++
+	epoch := m.epoch
+	for _, j := range ev.Failed {
+		m.failed[j] = true
+	}
+	for _, j := range ev.Recovered {
+		if m.failed[j] {
+			delete(m.failed, j)
+			m.pendingRecovered = append(m.pendingRecovered, j)
+		}
+	}
+	m.mu.Unlock()
+	m.log.addf(KindDetect, "epoch %d: %s", epoch, ev)
+}
+
+// stalePlan reports whether newer detector events are already queued — the
+// signal that a plan computed for the current epoch must be discarded
+// instead of pushed.
+func (m *Medic) stalePlan() bool { return len(m.events) > 0 }
+
+// pushOpts derives the wire options for one epoch: an epoch-ranked
+// generation ID (stale pushes are refused on the wire) and a decorrelated
+// retry-jitter seed.
+func (m *Medic) pushOpts(epoch uint64) sdnsim.PushOptions {
+	opts := m.cfg.Push
+	opts.GenerationID = epoch*genStride + 1
+	opts.Seed = m.cfg.Push.Seed ^ int64(epoch)
+	return opts
+}
+
+// reconcile drives the failure set to a pushed, adopted plan. It runs only
+// on the loop goroutine; the epoch cannot advance underneath it, but newer
+// events can queue, which is checked between planning and pushing.
+func (m *Medic) reconcile() {
+	m.mu.Lock()
+	epoch := m.epoch
+	failed := make([]int, 0, len(m.failed))
+	for j := range m.failed {
+		failed = append(failed, j)
+	}
+	sort.Ints(failed)
+	recovered := m.pendingRecovered
+	m.pendingRecovered = nil
+	m.mu.Unlock()
+
+	// Fail-back first: returned controllers re-took their domains; push the
+	// ideal configuration back so demoted flows are SDN-routed again.
+	for _, j := range recovered {
+		m.restoreDomain(epoch, j)
+	}
+
+	if len(failed) == 0 {
+		m.mu.Lock()
+		m.unreachable = make(map[topo.NodeID]bool)
+		m.snap = snapshot{converged: true, ideal: true, restores: m.snap.restores, updatedAt: time.Now()}
+		m.mu.Unlock()
+		if len(recovered) > 0 {
+			m.log.addf(KindFailback, "epoch %d: all controllers back, ideal mapping restored", epoch)
+		}
+		return
+	}
+
+	inst, err := scenario.Build(m.cfg.Dep, m.cfg.Flows, failed)
+	if err != nil {
+		m.setUnconverged(fmt.Sprintf("failure set %v is unplannable", failed))
+		m.log.addf(KindError, "epoch %d: compile %v: %v", epoch, failed, err)
+		return
+	}
+
+	sol, err := m.plan(epoch, inst)
+	if err != nil {
+		m.setUnconverged(fmt.Sprintf("planning for %s failed", inst.Label()))
+		m.log.addf(KindError, "epoch %d: plan %s: %v", epoch, inst.Label(), err)
+		return
+	}
+
+	if m.stalePlan() {
+		m.log.addf(KindStale, "epoch %d: plan for %s discarded, newer events queued", epoch, inst.Label())
+		return
+	}
+
+	rep, err := m.cfg.Pusher(m.cfg.Addrs, m.cfg.Flows, inst, sol, m.pushOpts(epoch))
+	if err != nil {
+		m.setUnconverged(fmt.Sprintf("push for %s failed", inst.Label()))
+		m.log.addf(KindError, "epoch %d: push %s: %v", epoch, inst.Label(), err)
+		return
+	}
+	m.log.addf(KindPush, "epoch %d: pushed %s: %d flow-mods acked in %d round(s), %d demoted",
+		epoch, inst.Label(), rep.FlowModsAcked, rep.Rounds, len(rep.Demoted))
+
+	m.mu.Lock()
+	for _, sw := range rep.Demoted {
+		m.unreachable[sw] = true
+	}
+	m.mu.Unlock()
+
+	if m.cfg.Net != nil {
+		if err := m.cfg.Net.AdoptMapping(inst, rep.Final); err != nil {
+			m.setUnconverged(fmt.Sprintf("adopting the %s mapping failed", inst.Label()))
+			m.log.addf(KindError, "epoch %d: adopt %s: %v", epoch, inst.Label(), err)
+			return
+		}
+	}
+
+	m.mu.Lock()
+	m.snap = snapshot{
+		converged: true,
+		label:     inst.Label(),
+		inst:      inst,
+		report:    rep,
+		restores:  m.snap.restores,
+		updatedAt: time.Now(),
+	}
+	m.mu.Unlock()
+	m.log.addf(KindConverged, "epoch %d: converged on %s: r=%d total=%d recovered=%d/%d",
+		epoch, inst.Label(), rep.Achieved.MinProg, rep.Achieved.TotalProg,
+		rep.Achieved.RecoveredFlows, inst.OfflineFlowCount())
+}
+
+// plan solves the instance, incrementally when possible: switches already
+// proven unreachable in this episode are dropped through Residual before
+// solving, and the residual solution is translated back into the
+// instance's pair index space.
+func (m *Medic) plan(epoch uint64, inst *scenario.Instance) (*core.Solution, error) {
+	m.mu.Lock()
+	demoted := make(map[topo.NodeID]bool)
+	for _, sw := range inst.Switches {
+		if m.unreachable[sw] {
+			demoted[sw] = true
+		}
+	}
+	m.mu.Unlock()
+
+	if len(demoted) == 0 {
+		return m.cfg.Solve(inst.Problem)
+	}
+	rp, pairMap, err := inst.Residual(demoted)
+	if err != nil {
+		// The residual is an optimization; fall back to the full solve.
+		m.log.addf(KindError, "epoch %d: residual for %s: %v", epoch, inst.Label(), err)
+		return m.cfg.Solve(inst.Problem)
+	}
+	m.log.addf(KindPlan, "epoch %d: residual re-plan for %s excludes %d unreachable switch(es)",
+		epoch, inst.Label(), len(demoted))
+	rsol, err := m.cfg.Solve(rp)
+	if err != nil {
+		return nil, err
+	}
+	sol := core.NewSolution(rsol.Algorithm+"+residual", inst.Problem)
+	copy(sol.SwitchController, rsol.SwitchController)
+	for k, on := range rsol.Active {
+		if on {
+			sol.Active[pairMap[k]] = true
+		}
+	}
+	return sol, nil
+}
+
+// restoreDomain pushes the ideal configuration back to one returned
+// controller's domain and drops its switches from the unreachable set (a
+// returned domain deserves fresh attempts).
+func (m *Medic) restoreDomain(epoch uint64, j int) {
+	if j < 0 || j >= len(m.cfg.Dep.Controllers) {
+		m.log.addf(KindError, "epoch %d: recovery of unknown controller %d", epoch, j)
+		return
+	}
+	domain := m.cfg.Dep.Controllers[j].Domain
+	rep, err := m.cfg.Restorer(m.cfg.Addrs, m.cfg.Flows, domain, m.pushOpts(epoch))
+	if err != nil {
+		m.log.addf(KindError, "epoch %d: fail-back for controller %d: %v", epoch, j, err)
+		return
+	}
+	m.mu.Lock()
+	for _, sw := range domain {
+		delete(m.unreachable, sw)
+	}
+	for _, sw := range rep.Failed {
+		m.unreachable[sw] = true
+	}
+	m.snap.restores++
+	m.mu.Unlock()
+	m.log.addf(KindRestore, "epoch %d: controller %d returned: %d flow-mods restored to its domain, %d switch(es) unreachable",
+		epoch, j, rep.FlowModsAcked, len(rep.Failed))
+}
+
+// setUnconverged marks the current failure set as lacking a pushed plan.
+func (m *Medic) setUnconverged(why string) {
+	m.mu.Lock()
+	m.snap.converged = false
+	m.snap.ideal = false
+	m.snap.label = why
+	m.snap.updatedAt = time.Now()
+	m.mu.Unlock()
+}

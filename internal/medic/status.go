@@ -1,0 +1,204 @@
+package medic
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"pmedic/internal/flow"
+	"pmedic/internal/monitor"
+	"pmedic/internal/topo"
+)
+
+// Kind classifies a structured log entry.
+type Kind string
+
+// Log entry kinds.
+const (
+	KindDetect    Kind = "detect"    // a detector event was applied
+	KindPlan      Kind = "plan"      // planning detail (e.g. residual re-plan)
+	KindPush      Kind = "push"      // a recovery plan was pushed
+	KindConverged Kind = "converged" // the failure set has a pushed, adopted plan
+	KindRestore   Kind = "restore"   // a returned controller's domain was restored
+	KindFailback  Kind = "failback"  // every controller is back; ideal state
+	KindStale     Kind = "stale"     // a computed plan was discarded unpushed
+	KindError     Kind = "error"
+)
+
+// LogEntry is one structured event-log record.
+type LogEntry struct {
+	Seq  uint64    `json:"seq"`
+	At   time.Time `json:"at"`
+	Kind Kind      `json:"kind"`
+	Msg  string    `json:"msg"`
+}
+
+// eventLog is a bounded ring of LogEntries.
+type eventLog struct {
+	mu      sync.Mutex
+	seq     uint64
+	entries []LogEntry
+	next    int
+	full    bool
+}
+
+func newEventLog(size int) *eventLog {
+	return &eventLog{entries: make([]LogEntry, size)}
+}
+
+func (l *eventLog) addf(kind Kind, format string, args ...interface{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	l.entries[l.next] = LogEntry{Seq: l.seq, At: time.Now(), Kind: kind, Msg: fmt.Sprintf(format, args...)}
+	l.next = (l.next + 1) % len(l.entries)
+	if l.next == 0 {
+		l.full = true
+	}
+}
+
+// snapshot returns the retained entries, oldest first.
+func (l *eventLog) snapshot() []LogEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []LogEntry
+	if l.full {
+		out = append(out, l.entries[l.next:]...)
+	}
+	out = append(out, l.entries[:l.next]...)
+	return out
+}
+
+// MappingEntry is one switch's current assignment in the achieved plan.
+type MappingEntry struct {
+	Switch topo.NodeID `json:"switch"`
+	// Controller is the deployment controller index, -1 for legacy mode.
+	Controller int `json:"controller"`
+}
+
+// FlowProg is one offline flow's achieved programmability.
+type FlowProg struct {
+	Flow flow.ID `json:"flow"`
+	Prog int     `json:"prog"`
+}
+
+// Status is the daemon's reconciled state, JSON-ready for the HTTP
+// endpoint.
+type Status struct {
+	Now   time.Time `json:"now"`
+	Epoch uint64    `json:"epoch"`
+	// Failed is the controller set currently believed down.
+	Failed []int `json:"failed_controllers"`
+	// Ideal reports the steady state: nothing failed, ideal mapping in
+	// force. Converged reports that the current failure set (possibly
+	// empty) has a pushed plan.
+	Ideal     bool   `json:"ideal"`
+	Converged bool   `json:"converged"`
+	Case      string `json:"case,omitempty"`
+	// Unreachable lists switches demoted for agent unreachability this
+	// episode, ascending.
+	Unreachable []topo.NodeID `json:"unreachable_switches,omitempty"`
+
+	// Plan metrics of the achieved (pushed) solution.
+	MinProg        int `json:"min_prog"`
+	TotalProg      int `json:"total_prog"`
+	RecoveredFlows int `json:"recovered_flows"`
+	OfflineFlows   int `json:"offline_flows"`
+	PushRounds     int `json:"push_rounds,omitempty"`
+	FlowModsAcked  int `json:"flow_mods_acked,omitempty"`
+	Restores       int `json:"restores"`
+
+	Mapping  []MappingEntry `json:"mapping,omitempty"`
+	FlowProg []FlowProg     `json:"flow_prog,omitempty"`
+
+	// NetworkMapping is the simulator's live switch→controller ownership
+	// (present when the medic is wired to a Network).
+	NetworkMapping []int `json:"network_mapping,omitempty"`
+
+	Events   []LogEntry            `json:"events"`
+	Detector []monitor.TargetState `json:"detector,omitempty"`
+}
+
+// Status snapshots the medic's reconciled state. Detector is left empty;
+// Handler fills it from the monitor.
+func (m *Medic) Status() Status {
+	m.mu.Lock()
+	snap := m.snap
+	st := Status{
+		Now:       time.Now(),
+		Epoch:     m.epoch,
+		Ideal:     snap.ideal,
+		Converged: snap.converged,
+		Case:      snap.label,
+		Restores:  snap.restores,
+	}
+	for j := range m.failed {
+		st.Failed = append(st.Failed, j)
+	}
+	for sw := range m.unreachable {
+		st.Unreachable = append(st.Unreachable, sw)
+	}
+	m.mu.Unlock()
+	sort.Ints(st.Failed)
+	sort.Slice(st.Unreachable, func(a, b int) bool { return st.Unreachable[a] < st.Unreachable[b] })
+	if st.Failed == nil {
+		st.Failed = []int{}
+	}
+
+	if snap.inst != nil && snap.report != nil {
+		inst, rep := snap.inst, snap.report
+		st.MinProg = rep.Achieved.MinProg
+		st.TotalProg = rep.Achieved.TotalProg
+		st.RecoveredFlows = rep.Achieved.RecoveredFlows
+		st.OfflineFlows = inst.OfflineFlowCount()
+		st.PushRounds = rep.Rounds
+		st.FlowModsAcked = rep.FlowModsAcked
+		for i, jj := range rep.Final.SwitchController {
+			e := MappingEntry{Switch: inst.Switches[i], Controller: -1}
+			if jj >= 0 {
+				e.Controller = inst.Active[jj]
+			}
+			st.Mapping = append(st.Mapping, e)
+		}
+		for l, prog := range rep.Achieved.FlowProg {
+			st.FlowProg = append(st.FlowProg, FlowProg{Flow: inst.FlowIDs[l], Prog: prog})
+		}
+		for _, lid := range inst.Unrecoverable {
+			st.FlowProg = append(st.FlowProg, FlowProg{Flow: lid, Prog: 0})
+		}
+		sort.Slice(st.FlowProg, func(a, b int) bool { return st.FlowProg[a].Flow < st.FlowProg[b].Flow })
+	}
+	if m.cfg.Net != nil {
+		st.NetworkMapping = m.cfg.Net.MappingSnapshot()
+	}
+	st.Events = m.log.snapshot()
+	return st
+}
+
+// Handler serves the daemon's HTTP surface:
+//
+//	GET /status  — the full Status JSON (detector state included when a
+//	               monitor is attached)
+//	GET /healthz — liveness of the daemon process itself
+//
+// mon may be nil.
+func Handler(m *Medic, mon *monitor.Monitor) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		st := m.Status()
+		if mon != nil {
+			st.Detector = mon.State()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = fmt.Fprintln(w, "ok")
+	})
+	return mux
+}

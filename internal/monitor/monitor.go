@@ -1,0 +1,338 @@
+// Package monitor is a heartbeat-based controller failure detector. It
+// probes each target's control-plane liveness endpoint (internal/openflow
+// Echo by default) on a jittered per-target loop, turns consecutive probe
+// misses into a down suspicion and a single successful probe into a
+// recovery, and coalesces transitions inside a debounce window so a
+// correlated multi-controller failure surfaces as one event — the input the
+// recovery orchestrator (internal/medic) wants, since re-planning once for
+// the combined failure beats re-planning per controller.
+//
+// Detection semantics:
+//
+//   - A target starts assumed up (the steady state the daemon boots into).
+//   - Every probe failure increments a consecutive-miss counter; reaching
+//     Threshold misses flips the target down. A single miss — a latency
+//     spike, a dropped frame — never does, which is what keeps the detector
+//     quiet under jitter-only chaos.
+//   - Any successful probe resets the counter and flips a down target up
+//     (fail-back detection).
+//   - Raw transitions are buffered for Debounce before an Event is emitted;
+//     transitions that cancel out within the window (a flap) are suppressed.
+//
+// All probe scheduling is seeded: loops start phase-staggered and tick with
+// deterministic jitter drawn from per-target PRNG streams, so two monitors
+// with the same seed probe on the same schedule.
+package monitor
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"pmedic/internal/openflow"
+)
+
+// Target is one monitored controller endpoint.
+type Target struct {
+	// ID is the controller's deployment index; events carry it.
+	ID int
+	// Name is a human-readable label for logs and status.
+	Name string
+	// Addr is the liveness endpoint the probe dials.
+	Addr string
+}
+
+// ProbeFunc checks one endpoint's liveness, bounded by timeout. Every call
+// is independent (connection-per-probe); a nil error means alive.
+type ProbeFunc func(addr string, timeout time.Duration) error
+
+// ProbeVia builds a ProbeFunc from a control-channel dialer: each probe
+// dials, runs one Echo round-trip, and closes. Substituting a chaos-wrapped
+// dialer is how tests and demos put probe traffic under fault injection.
+func ProbeVia(dial func(addr string, timeout time.Duration) (*openflow.Conn, error)) ProbeFunc {
+	return func(addr string, timeout time.Duration) error {
+		conn, err := dial(addr, timeout)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = conn.Close() }()
+		conn.SetIOTimeout(timeout)
+		return conn.Ping([]byte("pmedicd"))
+	}
+}
+
+// defaultProbe dials the endpoint over plain TCP and pings it.
+var defaultProbe = ProbeVia(openflow.DialTimeout)
+
+// Config tunes the detector. The zero value selects the defaults noted per
+// field.
+type Config struct {
+	// Interval is the nominal gap between probes of one target (default
+	// 500ms). Each target's loop starts phase-staggered within one Interval.
+	Interval time.Duration
+	// Jitter adds a uniform [0, Jitter) seeded extra delay per tick (default
+	// Interval/4) so probe loops decorrelate instead of thundering together.
+	Jitter time.Duration
+	// Timeout bounds each probe (default Interval).
+	Timeout time.Duration
+	// Threshold is the number of consecutive misses that flips a target down
+	// (default 3).
+	Threshold int
+	// Debounce is the coalescing window between the first raw transition and
+	// the emitted event (default 2×Interval). Correlated failures landing
+	// within one window become one event.
+	Debounce time.Duration
+	// Seed drives the probe schedule and jitter deterministically.
+	Seed int64
+	// Probe replaces the liveness check (default: openflow Echo ping).
+	Probe ProbeFunc
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 500 * time.Millisecond
+	}
+	if c.Jitter <= 0 {
+		c.Jitter = c.Interval / 4
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = c.Interval
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.Debounce <= 0 {
+		c.Debounce = 2 * c.Interval
+	}
+	if c.Probe == nil {
+		c.Probe = defaultProbe
+	}
+	return c
+}
+
+// Event is one coalesced liveness delta: the targets that went down and the
+// targets that came back since the previous event.
+type Event struct {
+	// Seq numbers events monotonically from 1.
+	Seq uint64 `json:"seq"`
+	// Failed and Recovered carry target IDs, ascending.
+	Failed    []int `json:"failed,omitempty"`
+	Recovered []int `json:"recovered,omitempty"`
+	// At is the emission time (the end of the debounce window).
+	At time.Time `json:"at"`
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	return fmt.Sprintf("event #%d: failed=%v recovered=%v", e.Seq, e.Failed, e.Recovered)
+}
+
+// TargetState is one target's detector-side view, for status reporting.
+type TargetState struct {
+	ID                int       `json:"id"`
+	Name              string    `json:"name,omitempty"`
+	Addr              string    `json:"addr"`
+	Up                bool      `json:"up"`
+	ConsecutiveMisses int       `json:"consecutive_misses"`
+	Probes            uint64    `json:"probes"`
+	Misses            uint64    `json:"misses"`
+	Failures          uint64    `json:"failures"`
+	Recoveries        uint64    `json:"recoveries"`
+	LastProbeAt       time.Time `json:"last_probe_at"`
+	LastError         string    `json:"last_error,omitempty"`
+}
+
+// transition is one raw per-target state flip, pre-debounce.
+type transition struct {
+	id int
+	up bool
+}
+
+type target struct {
+	Target
+	state TargetState
+}
+
+// Monitor drives the probe loops and the debouncing coalescer.
+type Monitor struct {
+	cfg     Config
+	targets []*target
+
+	mu sync.Mutex // guards every target's state
+
+	transitions chan transition
+	events      chan Event
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// New builds a detector over the targets. Call Start to begin probing.
+func New(targets []Target, cfg Config) *Monitor {
+	m := &Monitor{
+		cfg:         cfg.withDefaults(),
+		transitions: make(chan transition, 4*len(targets)+4),
+		events:      make(chan Event, 16),
+		done:        make(chan struct{}),
+	}
+	for _, t := range targets {
+		tt := &target{Target: t}
+		tt.state = TargetState{ID: t.ID, Name: t.Name, Addr: t.Addr, Up: true}
+		m.targets = append(m.targets, tt)
+	}
+	return m
+}
+
+// Events is the coalesced event stream. It is closed by Stop.
+func (m *Monitor) Events() <-chan Event { return m.events }
+
+// Start launches the probe loops and the coalescer.
+func (m *Monitor) Start() {
+	m.startOnce.Do(func() {
+		m.wg.Add(1)
+		go m.coalesce()
+		for i, t := range m.targets {
+			m.wg.Add(1)
+			go m.probeLoop(t, m.cfg.Seed^(0x5DEECE66D*int64(i+1)))
+		}
+	})
+}
+
+// Stop halts probing, waits for in-flight probes, and closes Events.
+func (m *Monitor) Stop() {
+	m.stopOnce.Do(func() {
+		close(m.done)
+		m.wg.Wait()
+		close(m.events)
+	})
+}
+
+// State snapshots every target's detector-side view, in target order.
+func (m *Monitor) State() []TargetState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]TargetState, len(m.targets))
+	for i, t := range m.targets {
+		out[i] = t.state
+	}
+	return out
+}
+
+// probeLoop drives one target: phase-staggered start, jittered ticks, one
+// probe per tick.
+func (m *Monitor) probeLoop(t *target, seed int64) {
+	defer m.wg.Done()
+	rng := rand.New(rand.NewSource(seed))
+	timer := time.NewTimer(time.Duration(rng.Int63n(int64(m.cfg.Interval))))
+	defer timer.Stop()
+	for {
+		select {
+		case <-m.done:
+			return
+		case <-timer.C:
+		}
+		err := m.cfg.Probe(t.Addr, m.cfg.Timeout)
+		m.record(t, err)
+		timer.Reset(m.cfg.Interval + time.Duration(rng.Int63n(int64(m.cfg.Jitter))))
+	}
+}
+
+// record folds one probe result into the target's state and queues a raw
+// transition when the suspicion threshold is crossed or the target returns.
+func (m *Monitor) record(t *target, err error) {
+	m.mu.Lock()
+	s := &t.state
+	s.Probes++
+	s.LastProbeAt = time.Now()
+	var tr *transition
+	if err != nil {
+		s.Misses++
+		s.ConsecutiveMisses++
+		s.LastError = err.Error()
+		if s.Up && s.ConsecutiveMisses >= m.cfg.Threshold {
+			s.Up = false
+			s.Failures++
+			tr = &transition{id: t.ID, up: false}
+		}
+	} else {
+		s.ConsecutiveMisses = 0
+		s.LastError = ""
+		if !s.Up {
+			s.Up = true
+			s.Recoveries++
+			tr = &transition{id: t.ID, up: true}
+		}
+	}
+	m.mu.Unlock()
+	if tr != nil {
+		select {
+		case m.transitions <- *tr:
+		case <-m.done:
+		}
+	}
+}
+
+// coalesce buffers raw transitions for one debounce window and emits the
+// surviving delta as a single event. reported tracks the state consumers
+// last saw, so a flap inside the window cancels instead of emitting.
+func (m *Monitor) coalesce() {
+	defer m.wg.Done()
+	reported := make(map[int]bool, len(m.targets))
+	for _, t := range m.targets {
+		reported[t.ID] = true
+	}
+	pending := make(map[int]bool)
+	var (
+		timer  *time.Timer
+		timerC <-chan time.Time
+		seq    uint64
+	)
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for {
+		select {
+		case <-m.done:
+			return
+		case tr := <-m.transitions:
+			pending[tr.id] = tr.up
+			if timerC == nil {
+				timer = time.NewTimer(m.cfg.Debounce)
+				timerC = timer.C
+			}
+		case <-timerC:
+			timerC = nil
+			ev := Event{At: time.Now()}
+			for id, up := range pending {
+				if up == reported[id] {
+					continue // flapped back within the window
+				}
+				reported[id] = up
+				if up {
+					ev.Recovered = append(ev.Recovered, id)
+				} else {
+					ev.Failed = append(ev.Failed, id)
+				}
+			}
+			pending = make(map[int]bool)
+			if len(ev.Failed) == 0 && len(ev.Recovered) == 0 {
+				continue
+			}
+			sort.Ints(ev.Failed)
+			sort.Ints(ev.Recovered)
+			seq++
+			ev.Seq = seq
+			select {
+			case m.events <- ev:
+			case <-m.done:
+				return
+			}
+		}
+	}
+}

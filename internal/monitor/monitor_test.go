@@ -1,0 +1,210 @@
+package monitor
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"pmedic/internal/openflow"
+)
+
+// fakeFleet is a probe-level stand-in for a set of controllers whose
+// liveness the test flips directly.
+type fakeFleet struct {
+	mu   sync.Mutex
+	up   map[string]bool
+	hits map[string]uint64
+}
+
+func newFakeFleet(addrs ...string) *fakeFleet {
+	f := &fakeFleet{up: make(map[string]bool), hits: make(map[string]uint64)}
+	for _, a := range addrs {
+		f.up[a] = true
+	}
+	return f
+}
+
+func (f *fakeFleet) set(addr string, up bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.up[addr] = up
+}
+
+func (f *fakeFleet) probe(addr string, _ time.Duration) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.hits[addr]++
+	if !f.up[addr] {
+		return errors.New("probe refused")
+	}
+	return nil
+}
+
+func fastConfig(probe ProbeFunc) Config {
+	return Config{
+		Interval:  5 * time.Millisecond,
+		Jitter:    2 * time.Millisecond,
+		Timeout:   20 * time.Millisecond,
+		Threshold: 3,
+		Debounce:  25 * time.Millisecond,
+		Seed:      42,
+		Probe:     probe,
+	}
+}
+
+func waitEvent(t *testing.T, m *Monitor, within time.Duration) Event {
+	t.Helper()
+	select {
+	case ev, ok := <-m.Events():
+		if !ok {
+			t.Fatal("event stream closed")
+		}
+		return ev
+	case <-time.After(within):
+		t.Fatal("no event within deadline")
+	}
+	return Event{}
+}
+
+func TestHealthyTargetsEmitNothing(t *testing.T) {
+	fleet := newFakeFleet("a", "b", "c")
+	m := New([]Target{{ID: 0, Addr: "a"}, {ID: 1, Addr: "b"}, {ID: 2, Addr: "c"}},
+		fastConfig(fleet.probe))
+	m.Start()
+	defer m.Stop()
+
+	select {
+	case ev := <-m.Events():
+		t.Fatalf("unexpected %v from a healthy fleet", ev)
+	case <-time.After(150 * time.Millisecond):
+	}
+	for _, s := range m.State() {
+		if !s.Up || s.Failures != 0 {
+			t.Fatalf("target %d: %+v", s.ID, s)
+		}
+		if s.Probes < 3 {
+			t.Fatalf("target %d probed only %d times", s.ID, s.Probes)
+		}
+	}
+}
+
+func TestBlipsBelowThresholdAreSuppressed(t *testing.T) {
+	// Every 4th probe fails: consecutive misses never reach 3, so the
+	// detector must stay silent — the zero-false-positive property.
+	var mu sync.Mutex
+	calls := 0
+	probe := func(string, time.Duration) error {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if calls%4 == 0 {
+			return errors.New("transient blip")
+		}
+		return nil
+	}
+	m := New([]Target{{ID: 0, Addr: "a"}}, fastConfig(probe))
+	m.Start()
+	defer m.Stop()
+
+	select {
+	case ev := <-m.Events():
+		t.Fatalf("unexpected %v from sub-threshold blips", ev)
+	case <-time.After(200 * time.Millisecond):
+	}
+	s := m.State()[0]
+	if !s.Up || s.Failures != 0 {
+		t.Fatalf("target flipped: %+v", s)
+	}
+	if s.Misses == 0 {
+		t.Fatal("no miss recorded; blips not exercised")
+	}
+}
+
+func TestCorrelatedFailuresCoalesce(t *testing.T) {
+	fleet := newFakeFleet("a", "b", "c")
+	m := New([]Target{{ID: 0, Addr: "a"}, {ID: 1, Addr: "b"}, {ID: 2, Addr: "c"}},
+		fastConfig(fleet.probe))
+	m.Start()
+	defer m.Stop()
+
+	// Two controllers die together: threshold crossings land within one
+	// debounce window, so one event must carry both.
+	fleet.set("a", false)
+	fleet.set("c", false)
+	ev := waitEvent(t, m, 5*time.Second)
+	if len(ev.Failed) != 2 || ev.Failed[0] != 0 || ev.Failed[1] != 2 {
+		t.Fatalf("Failed = %v, want [0 2]", ev.Failed)
+	}
+	if len(ev.Recovered) != 0 {
+		t.Fatalf("Recovered = %v, want none", ev.Recovered)
+	}
+
+	// Both return: one coalesced recovery event.
+	fleet.set("a", true)
+	fleet.set("c", true)
+	ev = waitEvent(t, m, 5*time.Second)
+	if len(ev.Recovered) != 2 || ev.Recovered[0] != 0 || ev.Recovered[1] != 2 {
+		t.Fatalf("Recovered = %v, want [0 2]", ev.Recovered)
+	}
+	if ev.Seq != 2 {
+		t.Fatalf("Seq = %d, want 2", ev.Seq)
+	}
+	s := m.State()[0]
+	if s.Failures != 1 || s.Recoveries != 1 {
+		t.Fatalf("target 0 counters: %+v", s)
+	}
+}
+
+func TestOpenflowProbeAgainstEchoServer(t *testing.T) {
+	// The default probe against a real endpoint: detection and fail-back
+	// over the wire protocol end to end.
+	es, err := openflow.ServeEcho("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = es.Close() }()
+
+	m := New([]Target{{ID: 4, Name: "c4", Addr: es.Addr()}}, Config{
+		Interval:  10 * time.Millisecond,
+		Jitter:    3 * time.Millisecond,
+		Timeout:   100 * time.Millisecond,
+		Threshold: 3,
+		Debounce:  30 * time.Millisecond,
+		Seed:      7,
+	})
+	m.Start()
+	defer m.Stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for es.Pings() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no probe reached the endpoint")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	es.SetAlive(false)
+	ev := waitEvent(t, m, 5*time.Second)
+	if len(ev.Failed) != 1 || ev.Failed[0] != 4 {
+		t.Fatalf("Failed = %v, want [4]", ev.Failed)
+	}
+
+	es.SetAlive(true)
+	ev = waitEvent(t, m, 5*time.Second)
+	if len(ev.Recovered) != 1 || ev.Recovered[0] != 4 {
+		t.Fatalf("Recovered = %v, want [4]", ev.Recovered)
+	}
+}
+
+func TestStopClosesEventStream(t *testing.T) {
+	fleet := newFakeFleet("a")
+	m := New([]Target{{ID: 0, Addr: "a"}}, fastConfig(fleet.probe))
+	m.Start()
+	m.Stop()
+	if _, ok := <-m.Events(); ok {
+		// Drain any event emitted before the stop; the stream must end.
+		for range m.Events() {
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package scenario
+
+import (
+	"math/rand"
+	"testing"
+
+	"pmedic/internal/core"
+	"pmedic/internal/flow"
+	"pmedic/internal/topo"
+)
+
+// translate lifts a residual-problem solution back into the original
+// problem's pair index space — the same positional translation the push
+// driver and the recovery daemon perform.
+func translate(inst *Instance, rsol *core.Solution, pairMap []int) *core.Solution {
+	sol := core.NewSolution(rsol.Algorithm, inst.Problem)
+	copy(sol.SwitchController, rsol.SwitchController)
+	for k, on := range rsol.Active {
+		if on {
+			sol.Active[pairMap[k]] = true
+		}
+	}
+	return sol
+}
+
+// TestResidualRoundTripProperty checks, over seeded random demoted subsets
+// of several failure cases, that Residual preserves everything it promises:
+// the index spaces survive the round trip, exactly the demoted switches'
+// pairs are dropped, and a solution of the residual problem translates back
+// into a feasible solution of the original problem with identical
+// programmability metrics.
+func TestResidualRoundTripProperty(t *testing.T) {
+	dep, err := topo.ATT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := flow.Generate(dep.Graph, flow.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1234))
+
+	for _, failed := range [][]int{{3}, {3, 4}, {1, 4}, {0, 5}} {
+		inst, err := Build(dep, flows, failed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := inst.Problem
+		for trial := 0; trial < 8; trial++ {
+			// A random demoted subset; trial 0 is the empty set (identity).
+			demoted := make(map[topo.NodeID]bool)
+			if trial > 0 {
+				want := rng.Intn(len(inst.Switches)) + 1
+				for _, i := range rng.Perm(len(inst.Switches))[:want] {
+					demoted[inst.Switches[i]] = true
+				}
+			}
+
+			rp, pairMap, err := inst.Residual(demoted)
+			if err != nil {
+				t.Fatalf("%v demoted=%v: %v", failed, demoted, err)
+			}
+
+			// Index spaces are preserved.
+			if rp.NumSwitches != p.NumSwitches || rp.NumControllers != p.NumControllers || rp.NumFlows != p.NumFlows {
+				t.Fatalf("%v demoted=%v: residual reshaped the index spaces", failed, demoted)
+			}
+			if len(pairMap) != len(rp.Pairs) {
+				t.Fatalf("%v demoted=%v: pairMap len %d != %d pairs", failed, demoted, len(pairMap), len(rp.Pairs))
+			}
+
+			// pairMap is strictly increasing and maps pairs verbatim; the
+			// kept set is exactly the pairs away from demoted switches.
+			kept := make(map[int]bool, len(pairMap))
+			for k, orig := range pairMap {
+				if k > 0 && pairMap[k-1] >= orig {
+					t.Fatalf("%v demoted=%v: pairMap not strictly increasing at %d", failed, demoted, k)
+				}
+				if rp.Pairs[k] != p.Pairs[orig] {
+					t.Fatalf("%v demoted=%v: pair %d not mapped verbatim", failed, demoted, k)
+				}
+				kept[orig] = true
+			}
+			for k, pr := range p.Pairs {
+				isDemoted := demoted[inst.Switches[pr.Switch]]
+				if kept[k] == isDemoted {
+					t.Fatalf("%v demoted=%v: pair %d at switch %d kept=%v, demoted switch=%v",
+						failed, demoted, k, inst.Switches[pr.Switch], kept[k], isDemoted)
+				}
+			}
+			for i, sw := range inst.Switches {
+				wantGamma := p.Gamma[i]
+				if demoted[sw] {
+					wantGamma = 0
+				}
+				if rp.Gamma[i] != wantGamma {
+					t.Fatalf("%v demoted=%v: switch %d gamma %d, want %d", failed, demoted, sw, rp.Gamma[i], wantGamma)
+				}
+			}
+			if trial == 0 && len(rp.Pairs) != len(p.Pairs) {
+				t.Fatalf("%v: empty demotion dropped pairs", failed)
+			}
+
+			// Round trip: solve the residual, translate back, and the
+			// original problem must accept the solution with the exact same
+			// programmability.
+			rsol, err := core.PM(rp)
+			if err != nil {
+				t.Fatalf("%v demoted=%v: solve residual: %v", failed, demoted, err)
+			}
+			sol := translate(inst, rsol, pairMap)
+			if err := sol.Verify(p); err != nil {
+				t.Fatalf("%v demoted=%v: translated solution infeasible: %v", failed, demoted, err)
+			}
+			rrep, err := core.Evaluate(rp, rsol, core.EvaluateOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := core.Evaluate(p, sol, core.EvaluateOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.MinProg != rrep.MinProg || rep.TotalProg != rrep.TotalProg || rep.RecoveredFlows != rrep.RecoveredFlows {
+				t.Fatalf("%v demoted=%v: metrics drifted in translation: residual (r=%d total=%d rec=%d), original (r=%d total=%d rec=%d)",
+					failed, demoted, rrep.MinProg, rrep.TotalProg, rrep.RecoveredFlows,
+					rep.MinProg, rep.TotalProg, rep.RecoveredFlows)
+			}
+			for l := range rep.FlowProg {
+				if rep.FlowProg[l] != rrep.FlowProg[l] {
+					t.Fatalf("%v demoted=%v: flow %d programmability drifted: %d != %d",
+						failed, demoted, l, rep.FlowProg[l], rrep.FlowProg[l])
+				}
+			}
+			// Nothing may be recovered at a demoted switch.
+			for k, on := range sol.Active {
+				if on && demoted[inst.Switches[p.Pairs[k].Switch]] {
+					t.Fatalf("%v demoted=%v: active pair %d at a demoted switch", failed, demoted, k)
+				}
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package sdnsim
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"pmedic/internal/core"
 	"pmedic/internal/des"
@@ -43,6 +44,18 @@ type Network struct {
 	Switches    []*Switch
 	Controllers []*Controller
 	Stats       Stats
+
+	// OnControllerChange, when set, is invoked (outside the lifecycle lock)
+	// after StopController or StartController flips a controller's liveness.
+	// The daemon wires it to the controller's probe endpoint so the failure
+	// detector observes the change. See lifecycle.go.
+	OnControllerChange func(index int, alive bool)
+
+	// ctrlMu serializes the runtime lifecycle surface (StopController,
+	// StartController, AdoptMapping, MappingSnapshot, ControllerAlive). The
+	// rest of Network predates concurrent use and is not safe to call
+	// concurrently with anything.
+	ctrlMu sync.Mutex
 
 	delay func(a, b topo.NodeID) float64
 	// ctrlDist[j][v] is the control-channel delay from controller j's site

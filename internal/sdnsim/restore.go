@@ -1,0 +1,109 @@
+package sdnsim
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"pmedic/internal/flow"
+	"pmedic/internal/topo"
+)
+
+// RestoreOutcome reports how one switch fared under a fail-back push.
+type RestoreOutcome struct {
+	Switch        topo.NodeID
+	Status        PushStatus
+	Attempts      int
+	FlowModsAcked int
+	Err           error
+}
+
+// RestoreReport is the structured result of a fail-back push.
+type RestoreReport struct {
+	// Outcomes has one entry per requested switch, in input order.
+	Outcomes []RestoreOutcome
+	// FlowModsAcked totals the acknowledged flow-mods.
+	FlowModsAcked int
+	// Failed lists switches that stayed unreachable through every retry,
+	// ascending. Their tables may be missing entries a recovery removed.
+	Failed []topo.NodeID
+}
+
+// RestoreIdeal pushes the steady-state (ideal) configuration back to the
+// given switches: for every flow traversing a switch, a FlowAdd re-asserting
+// the flow's original next hop there. It is the fail-back counterpart of
+// PushRecoveryResilient — after a failed controller returns and re-takes its
+// domain, the entries that recovery demoted to legacy mode must be
+// reinstalled before the flows are SDN-routed (and programmable) again.
+//
+// Delivery reuses the resilient driver's machinery: concurrent pushes, role
+// claim under opts.GenerationID, capped backoff with seeded jitter, and a
+// barrier per switch. Pass a GenerationID above the one the recovery pushes
+// used (the medic derives both from its epoch counter) so the fail-back
+// claim supersedes, not collides with, the recovery's mastership; the driver
+// still resynchronizes automatically if an agent reports a stale claim.
+// Unreachable switches are reported in Failed, never as an error.
+func RestoreIdeal(
+	addrs map[topo.NodeID]string,
+	flows *flow.Set,
+	switches []topo.NodeID,
+	opts PushOptions,
+) (*RestoreReport, error) {
+	opts = opts.withDefaults()
+	rep := &RestoreReport{Outcomes: make([]RestoreOutcome, len(switches))}
+
+	var work []switchPush
+	for i, swID := range switches {
+		rep.Outcomes[i] = RestoreOutcome{Switch: swID, Status: PushLegacyPlanned}
+		sp := switchPush{index: i, sw: swID}
+		for l := range flows.Flows {
+			f := &flows.Flows[l]
+			for h := 0; h+1 < len(f.Path); h++ {
+				if f.Path[h] == swID {
+					sp.mods = append(sp.mods, addMod(f, swID))
+					break
+				}
+			}
+		}
+		if len(sp.mods) > 0 {
+			work = append(work, sp)
+		}
+	}
+
+	gen := atomic.Uint64{}
+	gen.Store(opts.GenerationID)
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		slots = make(chan struct{}, opts.Concurrency)
+	)
+	for _, sp := range work {
+		wg.Add(1)
+		slots <- struct{}{}
+		go func(sp switchPush) {
+			defer func() {
+				<-slots
+				wg.Done()
+			}()
+			acked, _, err := pushSwitch(addrs, sp, &gen, opts)
+			mu.Lock()
+			defer mu.Unlock()
+			out := &rep.Outcomes[sp.index]
+			out.Attempts = acked.attempts
+			if err != nil {
+				out.Status = PushDemoted
+				out.Err = err
+				rep.Failed = append(rep.Failed, sp.sw)
+				return
+			}
+			out.Status = PushApplied
+			out.FlowModsAcked = acked.mods
+		}(sp)
+	}
+	wg.Wait()
+	sort.Slice(rep.Failed, func(a, b int) bool { return rep.Failed[a] < rep.Failed[b] })
+	for i := range rep.Outcomes {
+		rep.FlowModsAcked += rep.Outcomes[i].FlowModsAcked
+	}
+	return rep, nil
+}
