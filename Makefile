@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test test-race bench
+.PHONY: check fmt vet build test test-race bench bench-diff bench-gate
 
 check: fmt vet build test-race
 
@@ -29,3 +29,19 @@ bench:
 	out="BENCH_$$n.json"; \
 	echo "writing $$out"; \
 	$(GO) test -json -run '^$$' -bench . -benchtime 1x . > "$$out" || { rm -f "$$out"; exit 1; }
+
+# bench-diff prints an old/new/delta table for the two newest committed
+# baselines (second-highest n = old, highest n = new).
+bench-diff:
+	$(GO) run ./cmd/benchdiff
+
+# bench-gate re-runs the Fig. 5 sweep benchmarks (3 iterations each) and
+# fails if any of them regressed by more than 20% ns/op against the newest
+# committed BENCH_<n>.json baseline. CI runs this on every change.
+bench-gate:
+	@base=""; n=1; while [ -e "BENCH_$$n.json" ]; do base="BENCH_$$n.json"; n=$$((n+1)); done; \
+	[ -n "$$base" ] || { echo "bench-gate: no BENCH_<n>.json baseline (run make bench)"; exit 1; }; \
+	new="$$(mktemp)"; trap 'rm -f "$$new"' EXIT; \
+	echo "comparing against $$base"; \
+	$(GO) test -json -run '^$$' -bench 'BenchmarkFig5' -benchtime 3x . > "$$new" || exit 1; \
+	$(GO) run ./cmd/benchdiff -gate 'BenchmarkFig5' -max-regress 0.20 "$$base" "$$new"

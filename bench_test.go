@@ -35,7 +35,11 @@ func heuristicAlgorithms() []eval.Algorithm {
 	}
 }
 
-func benchFixtures(b *testing.B) (*topo.Deployment, *flow.Set) {
+// benchFixtures builds the shared inputs of a figure bench: the deployment,
+// the workload, and one scenario context reused across every sweep — the
+// production configuration (cmd/pmsim shares a context the same way). The
+// callers ResetTimer after fixtures, so benches time the sweep engine.
+func benchFixtures(b *testing.B) (*topo.Deployment, *flow.Set, *scenario.Context) {
 	b.Helper()
 	dep, err := topo.ATT()
 	if err != nil {
@@ -45,12 +49,16 @@ func benchFixtures(b *testing.B) (*topo.Deployment, *flow.Set) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	return dep, flows
+	ctx, err := scenario.NewContext(dep, flows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return dep, flows, ctx
 }
 
-func sweep(b *testing.B, dep *topo.Deployment, flows *flow.Set, k int) []*eval.CaseResult {
+func sweep(b *testing.B, dep *topo.Deployment, flows *flow.Set, ctx *scenario.Context, k int) []*eval.CaseResult {
 	b.Helper()
-	cases, err := eval.Sweep(dep, flows, k, heuristicAlgorithms())
+	cases, err := eval.SweepOpts(dep, flows, k, heuristicAlgorithms(), eval.Options{Context: ctx})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -90,9 +98,10 @@ func BenchmarkTableIII(b *testing.B) {
 // BenchmarkFig4Programmability regenerates Fig. 4(a): per-flow
 // programmability box statistics. Under one failure every algorithm matches.
 func BenchmarkFig4Programmability(b *testing.B) {
-	dep, flows := benchFixtures(b)
+	dep, flows, ctx := benchFixtures(b)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for _, c := range sweep(b, dep, flows, 1) {
+		for _, c := range sweep(b, dep, flows, ctx, 1) {
 			pm, _ := c.ProgBox("PM")
 			rf, _ := c.ProgBox("RetroFlow")
 			if pm.Median != rf.Median || pm.Min != rf.Min {
@@ -105,9 +114,10 @@ func BenchmarkFig4Programmability(b *testing.B) {
 // BenchmarkFig4TotalProgrammability regenerates Fig. 4(b): totals normalized
 // to RetroFlow are 100% in every single-failure case.
 func BenchmarkFig4TotalProgrammability(b *testing.B) {
-	dep, flows := benchFixtures(b)
+	dep, flows, ctx := benchFixtures(b)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for _, c := range sweep(b, dep, flows, 1) {
+		for _, c := range sweep(b, dep, flows, ctx, 1) {
 			if pct, ok := c.TotalProgPctOf("PM", "RetroFlow"); !ok || pct < 99.99 {
 				b.Fatalf("case %s: PM = %.1f%% of RetroFlow, want 100%%", c.Label, pct)
 			}
@@ -118,9 +128,10 @@ func BenchmarkFig4TotalProgrammability(b *testing.B) {
 // BenchmarkFig4RecoveredFlows regenerates Fig. 4(c): 100% recovery for every
 // algorithm under a single failure.
 func BenchmarkFig4RecoveredFlows(b *testing.B) {
-	dep, flows := benchFixtures(b)
+	dep, flows, ctx := benchFixtures(b)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for _, c := range sweep(b, dep, flows, 1) {
+		for _, c := range sweep(b, dep, flows, ctx, 1) {
 			for _, name := range []string{"PM", "RetroFlow", "PG"} {
 				if pct, ok := c.RecoveredFlowPct(name); !ok || pct < 99.99 {
 					b.Fatalf("case %s: %s recovered %.1f%%", c.Label, name, pct)
@@ -133,9 +144,10 @@ func BenchmarkFig4RecoveredFlows(b *testing.B) {
 // BenchmarkFig4Overhead regenerates Fig. 4(d): per-flow communication
 // overhead; PG (middle layer) must be the worst.
 func BenchmarkFig4Overhead(b *testing.B) {
-	dep, flows := benchFixtures(b)
+	dep, flows, ctx := benchFixtures(b)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for _, c := range sweep(b, dep, flows, 1) {
+		for _, c := range sweep(b, dep, flows, ctx, 1) {
 			pm, _ := c.PerFlowOverheadMs("PM")
 			pg, _ := c.PerFlowOverheadMs("PG")
 			if pg <= pm {
@@ -150,9 +162,10 @@ func BenchmarkFig4Overhead(b *testing.B) {
 // BenchmarkFig5Programmability regenerates Fig. 5(a): PM keeps a balanced
 // floor (min 2) while RetroFlow's min collapses to 0 in every case.
 func BenchmarkFig5Programmability(b *testing.B) {
-	dep, flows := benchFixtures(b)
+	dep, flows, ctx := benchFixtures(b)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for _, c := range sweep(b, dep, flows, 2) {
+		for _, c := range sweep(b, dep, flows, ctx, 2) {
 			pm, _ := c.ProgBox("PM")
 			rf, _ := c.ProgBox("RetroFlow")
 			if pm.Min < 2 {
@@ -170,32 +183,37 @@ func BenchmarkFig5Programmability(b *testing.B) {
 // the spare-capacity backup controller (site 16) is among the failed — the
 // structural analog of the paper's headline case (13, 20).
 func BenchmarkFig5TotalProgrammability(b *testing.B) {
-	dep, flows := benchFixtures(b)
+	dep, flows, ctx := benchFixtures(b)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		worst := 0.0
-		worstLabel := ""
-		for _, c := range sweep(b, dep, flows, 2) {
+		var worstCase *eval.CaseResult
+		for _, c := range sweep(b, dep, flows, ctx, 2) {
 			pct, ok := c.TotalProgPctOf("PM", "RetroFlow")
 			if !ok || pct <= 100 {
 				b.Fatalf("case %s: PM = %.1f%% of RetroFlow", c.Label, pct)
 			}
 			if pct > worst {
-				worst, worstLabel = pct, c.Label
+				worst, worstCase = pct, c
 			}
 		}
 		if worst < 150 {
-			b.Fatalf("largest gap only %.0f%% at %s; the backup-failure spike is missing", worst, worstLabel)
+			b.Fatalf("largest gap only %.0f%% at %s; the backup-failure spike is missing", worst, worstCase.Label)
 		}
-		if !containsSite16(worstLabel) {
+		if !failsSite(dep, worstCase, 16) {
 			b.Fatalf("largest gap at %s (%.0f%%), want a case that kills the backup controller (site 16)",
-				worstLabel, worst)
+				worstCase.Label, worst)
 		}
 	}
 }
 
-func containsSite16(label string) bool {
-	for i := 0; i+1 < len(label); i++ {
-		if label[i] == '1' && label[i+1] == '6' {
+// failsSite reports whether the case's failed set includes the controller
+// hosted at the given site, by inspecting the failed controller indices
+// rather than scanning the display label for a digit substring (which would
+// also match e.g. site 6 next to a 1, or a site "160").
+func failsSite(dep *topo.Deployment, c *eval.CaseResult, site topo.NodeID) bool {
+	for _, j := range c.Failed {
+		if j >= 0 && j < len(dep.Controllers) && dep.Controllers[j].Site == site {
 			return true
 		}
 	}
@@ -205,9 +223,10 @@ func containsSite16(label string) bool {
 // BenchmarkFig5RecoveredFlows regenerates Fig. 5(c): PM and PG recover 100%,
 // RetroFlow a strict subset.
 func BenchmarkFig5RecoveredFlows(b *testing.B) {
-	dep, flows := benchFixtures(b)
+	dep, flows, ctx := benchFixtures(b)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for _, c := range sweep(b, dep, flows, 2) {
+		for _, c := range sweep(b, dep, flows, ctx, 2) {
 			pm, _ := c.RecoveredFlowPct("PM")
 			rf, _ := c.RecoveredFlowPct("RetroFlow")
 			if pm < 99.99 || rf >= pm {
@@ -220,9 +239,10 @@ func BenchmarkFig5RecoveredFlows(b *testing.B) {
 // BenchmarkFig5RecoveredSwitches regenerates Fig. 5(d): recovered offline
 // switches per algorithm.
 func BenchmarkFig5RecoveredSwitches(b *testing.B) {
-	dep, flows := benchFixtures(b)
+	dep, flows, ctx := benchFixtures(b)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for _, c := range sweep(b, dep, flows, 2) {
+		for _, c := range sweep(b, dep, flows, ctx, 2) {
 			pm, _ := c.RecoveredSwitchPct("PM")
 			rf, _ := c.RecoveredSwitchPct("RetroFlow")
 			if pm < rf {
@@ -235,9 +255,10 @@ func BenchmarkFig5RecoveredSwitches(b *testing.B) {
 // BenchmarkFig5ControllerLoad regenerates Fig. 5(e): control resource used
 // per active controller.
 func BenchmarkFig5ControllerLoad(b *testing.B) {
-	dep, flows := benchFixtures(b)
+	dep, flows, ctx := benchFixtures(b)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for _, c := range sweep(b, dep, flows, 2) {
+		for _, c := range sweep(b, dep, flows, ctx, 2) {
 			loads, ok := c.ControllerLoadPct("PM")
 			if !ok {
 				b.Fatalf("case %s: no PM loads", c.Label)
@@ -254,9 +275,10 @@ func BenchmarkFig5ControllerLoad(b *testing.B) {
 // BenchmarkFig5Overhead regenerates Fig. 5(f): per-flow communication
 // overhead ordering PM < RetroFlow-or-PG, PG worst.
 func BenchmarkFig5Overhead(b *testing.B) {
-	dep, flows := benchFixtures(b)
+	dep, flows, ctx := benchFixtures(b)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for _, c := range sweep(b, dep, flows, 2) {
+		for _, c := range sweep(b, dep, flows, ctx, 2) {
 			pm, _ := c.PerFlowOverheadMs("PM")
 			pg, _ := c.PerFlowOverheadMs("PG")
 			if pg <= pm {
@@ -270,9 +292,10 @@ func BenchmarkFig5Overhead(b *testing.B) {
 
 // BenchmarkFig6Programmability regenerates Fig. 6(a).
 func BenchmarkFig6Programmability(b *testing.B) {
-	dep, flows := benchFixtures(b)
+	dep, flows, ctx := benchFixtures(b)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for _, c := range sweep(b, dep, flows, 3) {
+		for _, c := range sweep(b, dep, flows, ctx, 3) {
 			pm, _ := c.ProgBox("PM")
 			rf, _ := c.ProgBox("RetroFlow")
 			if pm.Median < rf.Median {
@@ -284,9 +307,10 @@ func BenchmarkFig6Programmability(b *testing.B) {
 
 // BenchmarkFig6TotalProgrammability regenerates Fig. 6(b).
 func BenchmarkFig6TotalProgrammability(b *testing.B) {
-	dep, flows := benchFixtures(b)
+	dep, flows, ctx := benchFixtures(b)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for _, c := range sweep(b, dep, flows, 3) {
+		for _, c := range sweep(b, dep, flows, ctx, 3) {
 			if pct, ok := c.TotalProgPctOf("PM", "RetroFlow"); !ok || pct <= 100 {
 				b.Fatalf("case %s: PM = %.1f%% of RetroFlow", c.Label, pct)
 			}
@@ -298,10 +322,11 @@ func BenchmarkFig6TotalProgrammability(b *testing.B) {
 // capacity is scarce, so PM recovers 100% only in a subset of cases — and in
 // the tight cases it still matches the flow-level PG.
 func BenchmarkFig6RecoveredFlows(b *testing.B) {
-	dep, flows := benchFixtures(b)
+	dep, flows, ctx := benchFixtures(b)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		full, tight := 0, 0
-		for _, c := range sweep(b, dep, flows, 3) {
+		for _, c := range sweep(b, dep, flows, ctx, 3) {
 			pm, _ := c.RecoveredFlowPct("PM")
 			pg, _ := c.RecoveredFlowPct("PG")
 			if pm >= 99.99 {
@@ -321,9 +346,10 @@ func BenchmarkFig6RecoveredFlows(b *testing.B) {
 
 // BenchmarkFig6RecoveredSwitches regenerates Fig. 6(d).
 func BenchmarkFig6RecoveredSwitches(b *testing.B) {
-	dep, flows := benchFixtures(b)
+	dep, flows, ctx := benchFixtures(b)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for _, c := range sweep(b, dep, flows, 3) {
+		for _, c := range sweep(b, dep, flows, ctx, 3) {
 			pm, _ := c.RecoveredSwitchPct("PM")
 			rf, _ := c.RecoveredSwitchPct("RetroFlow")
 			if pm < rf {
@@ -336,9 +362,10 @@ func BenchmarkFig6RecoveredSwitches(b *testing.B) {
 // BenchmarkFig6ControllerLoad regenerates Fig. 6(e): in tight cases PM
 // saturates the surviving controllers.
 func BenchmarkFig6ControllerLoad(b *testing.B) {
-	dep, flows := benchFixtures(b)
+	dep, flows, ctx := benchFixtures(b)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for _, c := range sweep(b, dep, flows, 3) {
+		for _, c := range sweep(b, dep, flows, ctx, 3) {
 			if _, ok := c.ControllerLoadPct("PM"); !ok {
 				b.Fatalf("case %s: missing loads", c.Label)
 			}
@@ -348,9 +375,10 @@ func BenchmarkFig6ControllerLoad(b *testing.B) {
 
 // BenchmarkFig6Overhead regenerates Fig. 6(f).
 func BenchmarkFig6Overhead(b *testing.B) {
-	dep, flows := benchFixtures(b)
+	dep, flows, ctx := benchFixtures(b)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for _, c := range sweep(b, dep, flows, 3) {
+		for _, c := range sweep(b, dep, flows, ctx, 3) {
 			pm, _ := c.PerFlowOverheadMs("PM")
 			pg, _ := c.PerFlowOverheadMs("PG")
 			if pg <= pm {
@@ -366,11 +394,12 @@ func BenchmarkFig6Overhead(b *testing.B) {
 // representative case per scenario size with a bounded exact solve. PM must
 // be orders of magnitude faster (the paper reports ~2% of Optimal's time).
 func BenchmarkFig7ComputationTime(b *testing.B) {
-	dep, flows := benchFixtures(b)
+	_, _, ctx := benchFixtures(b)
 	cases := [][]int{{4}, {3, 4}, {2, 3, 4}}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, failed := range cases {
-			inst, err := scenario.Build(dep, flows, failed)
+			inst, err := ctx.Build(failed)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -393,8 +422,8 @@ func BenchmarkFig7ComputationTime(b *testing.B) {
 
 func benchAlgorithm(b *testing.B, run func(*core.Problem) (*core.Solution, error)) {
 	b.Helper()
-	dep, flows := benchFixtures(b)
-	inst, err := scenario.Build(dep, flows, []int{3, 4})
+	_, _, ctx := benchFixtures(b)
+	inst, err := ctx.Build([]int{3, 4})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -465,7 +494,7 @@ func BenchmarkAblationPathCap(b *testing.B) {
 // BenchmarkAblationPMIterations compares PM's balancing depth: a single
 // sweep versus the paper's TOTAL_ITERATIONS sweeps.
 func BenchmarkAblationPMIterations(b *testing.B) {
-	dep, flows := benchFixtures(b)
+	_, _, ctx := benchFixtures(b)
 	for _, iters := range []int{1, 0} { // 0 = paper default
 		name := "default"
 		if iters == 1 {
@@ -473,7 +502,7 @@ func BenchmarkAblationPMIterations(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				inst, err := scenario.Build(dep, flows, []int{3, 4})
+				inst, err := ctx.Build([]int{3, 4})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -502,12 +531,25 @@ func BenchmarkWorkloadGeneration(b *testing.B) {
 	}
 }
 
-// BenchmarkScenarioBuild times failure-case compilation.
+// BenchmarkScenarioBuild times cold failure-case compilation: context
+// precomputation plus case assembly, as a one-shot caller would pay it.
 func BenchmarkScenarioBuild(b *testing.B) {
-	dep, flows := benchFixtures(b)
+	dep, flows, _ := benchFixtures(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := scenario.Build(dep, flows, []int{3, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScenarioContextBuild times warm failure-case compilation from a
+// shared context — the per-case cost a sweep actually pays.
+func BenchmarkScenarioContextBuild(b *testing.B) {
+	_, _, ctx := benchFixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx.Build([]int{3, 4}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -519,8 +561,9 @@ func BenchmarkScenarioBuild(b *testing.B) {
 // algorithm granularity and asserts the robustness ordering: at the same
 // trigger, switch-level recovery never outlives per-flow recovery.
 func BenchmarkExtensionCascade(b *testing.B) {
-	dep, flows := benchFixtures(b)
+	dep, flows, _ := benchFixtures(b)
 	algs := heuristicAlgorithms()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pmRes, err := eval.Cascade(dep, flows, []int{3}, algs[0], 0.95)
 		if err != nil {
@@ -539,7 +582,8 @@ func BenchmarkExtensionCascade(b *testing.B) {
 // BenchmarkExtensionSuccessiveChurn measures recovery churn across a
 // two-step successive failure.
 func BenchmarkExtensionSuccessiveChurn(b *testing.B) {
-	dep, flows := benchFixtures(b)
+	dep, flows, _ := benchFixtures(b)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		steps, err := scenario.BuildSuccessive(dep, flows, []int{3, 4})
 		if err != nil {

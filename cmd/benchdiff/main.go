@@ -1,0 +1,209 @@
+// Command benchdiff compares two `go test -json` benchmark streams (the
+// BENCH_<n>.json baselines written by `make bench`) and prints a
+// benchstat-style old/new/delta table.
+//
+// Usage:
+//
+//	benchdiff [old.json new.json]
+//	benchdiff -gate 'BenchmarkFig5' -max-regress 0.20 old.json new.json
+//
+// With no positional arguments it discovers the two newest BENCH_<n>.json
+// baselines in the current directory (highest n = new). With -gate, any
+// benchmark whose name matches the regexp and whose ns/op regressed by more
+// than -max-regress exits nonzero — the CI perf gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	gate := fs.String("gate", "", "regexp of benchmarks that must not regress")
+	maxRegress := fs.Float64("max-regress", 0.20, "allowed ns/op regression for gated benchmarks (fraction)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	oldPath, newPath, err := pickFiles(fs.Args())
+	if err != nil {
+		return err
+	}
+	oldNs, err := parseBenchJSON(oldPath)
+	if err != nil {
+		return fmt.Errorf("%s: %w", oldPath, err)
+	}
+	newNs, err := parseBenchJSON(newPath)
+	if err != nil {
+		return fmt.Errorf("%s: %w", newPath, err)
+	}
+	if len(oldNs) == 0 {
+		return fmt.Errorf("%s: no benchmark results", oldPath)
+	}
+	if len(newNs) == 0 {
+		return fmt.Errorf("%s: no benchmark results", newPath)
+	}
+
+	names := make([]string, 0, len(oldNs))
+	for name := range oldNs {
+		names = append(names, name)
+	}
+	for name := range newNs {
+		if _, ok := oldNs[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	var gateRe *regexp.Regexp
+	if *gate != "" {
+		gateRe, err = regexp.Compile(*gate)
+		if err != nil {
+			return fmt.Errorf("bad -gate: %w", err)
+		}
+	}
+
+	fmt.Fprintf(out, "old: %s\nnew: %s\n\n", oldPath, newPath)
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(w, "benchmark\told ns/op\tnew ns/op\tdelta\t\n")
+	var regressed []string
+	for _, name := range names {
+		o, haveOld := oldNs[name]
+		n, haveNew := newNs[name]
+		switch {
+		case !haveOld:
+			fmt.Fprintf(w, "%s\t-\t%.0f\tnew\t\n", name, n)
+		case !haveNew:
+			fmt.Fprintf(w, "%s\t%.0f\t-\tgone\t\n", name, o)
+		default:
+			delta := (n - o) / o
+			mark := ""
+			if gateRe != nil && gateRe.MatchString(name) && delta > *maxRegress {
+				mark = "  REGRESSED"
+				regressed = append(regressed, name)
+			}
+			fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%+.1f%%%s\t\n", name, o, n, 100*delta, mark)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d gated benchmark(s) regressed more than %.0f%%: %s",
+			len(regressed), 100**maxRegress, strings.Join(regressed, ", "))
+	}
+	return nil
+}
+
+// pickFiles resolves the (old, new) pair: explicit positional args, or the
+// two newest BENCH_<n>.json baselines in the current directory.
+func pickFiles(args []string) (string, string, error) {
+	switch len(args) {
+	case 2:
+		return args[0], args[1], nil
+	case 0:
+		matches, err := filepath.Glob("BENCH_*.json")
+		if err != nil {
+			return "", "", err
+		}
+		type baseline struct {
+			path string
+			n    int
+		}
+		var found []baseline
+		for _, m := range matches {
+			s := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(m), "BENCH_"), ".json")
+			if n, err := strconv.Atoi(s); err == nil {
+				found = append(found, baseline{m, n})
+			}
+		}
+		if len(found) < 2 {
+			return "", "", fmt.Errorf("need two BENCH_<n>.json baselines, found %d (run `make bench`)", len(found))
+		}
+		sort.Slice(found, func(i, j int) bool { return found[i].n < found[j].n })
+		return found[len(found)-2].path, found[len(found)-1].path, nil
+	default:
+		return "", "", fmt.Errorf("want 0 or 2 file arguments, got %d", len(args))
+	}
+}
+
+// event is the subset of test2json's output we care about.
+type event struct {
+	Action  string
+	Package string
+	Output  string
+}
+
+// benchLine matches a benchmark result, tolerating a -<GOMAXPROCS> name
+// suffix so baselines from machines with different core counts compare.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBenchJSON extracts name -> ns/op from a `go test -json` stream.
+// test2json fragments long lines across several output events, so the
+// output text is reassembled per package before scanning for bench lines.
+func parseBenchJSON(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	text := make(map[string]*strings.Builder)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("bad event line: %w", err)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		b := text[ev.Package]
+		if b == nil {
+			b = &strings.Builder{}
+			text[ev.Package] = b
+		}
+		b.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	results := make(map[string]float64)
+	for _, b := range text {
+		for _, line := range strings.Split(b.String(), "\n") {
+			m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+			if m == nil {
+				continue
+			}
+			ns, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				continue
+			}
+			results[m[1]] = ns
+		}
+	}
+	return results, nil
+}

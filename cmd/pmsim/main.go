@@ -7,6 +7,7 @@
 // Usage:
 //
 //	pmsim [-scenario 1|2|3|all] [-skip-optimal] [-opt-time 60s] [-lambda 0.001]
+//	      [-workers n]
 package main
 
 import (
@@ -43,6 +44,7 @@ type config struct {
 	lambda      float64
 	slack       int
 	csvDir      string
+	workers     int
 }
 
 func run(args []string, out io.Writer) error {
@@ -53,6 +55,7 @@ func run(args []string, out io.Writer) error {
 	lambda := fs.Float64("lambda", 0, "objective weight λ (0 = default)")
 	slack := fs.Int("slack", 0, "path-count hop slack (0 = default)")
 	csvDir := fs.String("csv", "", "also write each figure panel as CSV into this directory")
+	workers := fs.Int("workers", 0, "concurrent failure cases per sweep (0 = one per CPU, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,6 +65,7 @@ func run(args []string, out io.Writer) error {
 		lambda:      *lambda,
 		slack:       *slack,
 		csvDir:      *csvDir,
+		workers:     *workers,
 	}
 	switch *scenarioFlag {
 	case "all":
@@ -82,9 +86,15 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	// One scenario context serves all sweeps: Figs. 4–6 differ only in which
+	// controllers fail, never in the topology or workload.
+	sctx, err := scenario.NewContext(dep, flows)
+	if err != nil {
+		return err
+	}
 	algs := Algorithms(cfg.lambda, cfg.skipOptimal, cfg.optTime)
 	for _, k := range cfg.scenarios {
-		cases, err := eval.Sweep(dep, flows, k, algs)
+		cases, err := eval.SweepOpts(dep, flows, k, algs, eval.Options{Workers: cfg.workers, Context: sctx})
 		if err != nil {
 			return err
 		}

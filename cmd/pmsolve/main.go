@@ -113,7 +113,11 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	inst, err := scenario.Build(dep, flows, failed)
+	sctx, err := scenario.NewContext(dep, flows)
+	if err != nil {
+		return err
+	}
+	inst, err := sctx.Build(failed)
 	if err != nil {
 		return err
 	}

@@ -96,16 +96,31 @@ func PG(p *Problem) (*Solution, error) {
 
 	// Phase 2: full utilization — activate any remaining pair while capacity
 	// lasts, highest p̄ first.
-	order := make([]int, 0, len(p.Pairs))
+	// Stable counting sort, p̄-descending: p̄ is bounded by the path-count
+	// cap, and the quadratic insertion sort this replaces was PG's hottest
+	// loop across a full figure sweep.
+	inactive := make([]int, 0, len(p.Pairs))
+	maxPBar := 0
 	for k := range p.Pairs {
-		if !s.Active[k] {
-			order = append(order, k)
+		if s.Active[k] {
+			continue
+		}
+		inactive = append(inactive, k)
+		if p.Pairs[k].PBar > maxPBar {
+			maxPBar = p.Pairs[k].PBar
 		}
 	}
-	for a := 1; a < len(order); a++ {
-		for b := a; b > 0 && p.Pairs[order[b]].PBar > p.Pairs[order[b-1]].PBar; b-- {
-			order[b], order[b-1] = order[b-1], order[b]
-		}
+	bucket := make([]int, maxPBar+1)
+	for _, k := range inactive {
+		bucket[p.Pairs[k].PBar]++
+	}
+	for v, acc := maxPBar, 0; v >= 0; v-- {
+		bucket[v], acc = acc, acc+bucket[v]
+	}
+	order := make([]int, len(inactive))
+	for _, k := range inactive {
+		order[bucket[p.Pairs[k].PBar]] = k
+		bucket[p.Pairs[k].PBar]++
 	}
 	for _, k := range order {
 		j := maxRestController()

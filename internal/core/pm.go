@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"time"
 )
 
@@ -72,6 +71,27 @@ func PM(p *Problem) (*Solution, error) {
 		return m
 	}
 
+	// floorPairs[i] counts switch i's pairs whose flow still sits at the
+	// current floor σ — the testNum of the paper's lines 5–15, maintained
+	// incrementally instead of rescanning every switch's pair list on every
+	// balancing iteration. It is rebuilt in O(|Pairs|) when σ advances and
+	// decremented (across all of a flow's switches) when an activation lifts
+	// the flow off the floor; trackFloor turns the upkeep off once the
+	// balancing loop is done.
+	floorPairs := make([]int, p.NumSwitches)
+	trackFloor := true
+	rebuildFloor := func() {
+		for i := range floorPairs {
+			floorPairs[i] = 0
+		}
+		for _, pr := range p.Pairs {
+			if h[pr.Flow] == sigma {
+				floorPairs[pr.Switch]++
+			}
+		}
+	}
+	rebuildFloor()
+
 	// usedMs tracks total control propagation overhead. PM is delay-
 	// conscious the way the paper describes — nearest-controller preferences
 	// and delay-aware tie-breaks — but the budget G is not a hard cap for
@@ -81,6 +101,13 @@ func PM(p *Problem) (*Solution, error) {
 	activate := func(k, j0 int) {
 		usedMs += p.Delay[p.Pairs[k].Switch][j0]
 		l := p.Pairs[k].Flow
+		if trackFloor && h[l] == sigma {
+			// The flow leaves the floor (p̄ >= 2 > 0): every switch hosting
+			// one of its pairs loses a floor pair.
+			for _, kk := range p.PairsOfFlow(l) {
+				floorPairs[p.Pairs[kk].Switch]--
+			}
+		}
 		rest[j0]--
 		h[l] += p.Pairs[k].PBar
 		alternatives[l]--
@@ -93,17 +120,8 @@ func PM(p *Problem) (*Solution, error) {
 		// sits at the current floor σ (lines 5–15).
 		delta, i0 := 0, -1
 		for i := 0; i < p.NumSwitches; i++ {
-			if !inTestSet[i] {
-				continue
-			}
-			testNum := 0
-			for _, k := range p.PairsAtSwitch(i) {
-				if h[p.Pairs[k].Flow] == sigma {
-					testNum++
-				}
-			}
-			if testNum > delta {
-				delta, i0 = testNum, i
+			if inTestSet[i] && floorPairs[i] > delta {
+				delta, i0 = floorPairs[i], i
 			}
 		}
 		if i0 < 0 {
@@ -112,6 +130,7 @@ func PM(p *Problem) (*Solution, error) {
 			remaining = p.NumSwitches
 			testCount++
 			sigma = minH()
+			rebuildFloor()
 			continue
 		}
 
@@ -162,9 +181,19 @@ func PM(p *Problem) (*Solution, error) {
 				scratch = append(scratch, k)
 			}
 		}
-		sort.SliceStable(scratch, func(a, b int) bool {
-			return alternatives[p.Pairs[scratch[a]].Flow] < alternatives[p.Pairs[scratch[b]].Flow]
-		})
+		// Stable insertion sort, alternatives-ascending. The slice holds one
+		// switch's floor pairs (a handful), where insertion beats the
+		// reflect-backed sort.SliceStable it replaces.
+		for a := 1; a < len(scratch); a++ {
+			k := scratch[a]
+			alt := alternatives[p.Pairs[k].Flow]
+			b := a - 1
+			for b >= 0 && alternatives[p.Pairs[scratch[b]].Flow] > alt {
+				scratch[b+1] = scratch[b]
+				b--
+			}
+			scratch[b+1] = k
+		}
 		for _, k := range scratch {
 			if rest[j0] <= 0 {
 				break
@@ -179,8 +208,10 @@ func PM(p *Problem) (*Solution, error) {
 			remaining = p.NumSwitches
 			testCount++
 			sigma = minH()
+			rebuildFloor()
 		}
 	}
+	trackFloor = false
 
 	// Final pass: spend leftover capacity on total programmability
 	// (lines 42–50), alternating with switch rebalancing until neither makes
@@ -207,13 +238,27 @@ func PM(p *Problem) (*Solution, error) {
 		s.SwitchController[i] = j0
 	}
 
-	byPBar := make([]int, len(p.Pairs))
-	for k := range byPBar {
-		byPBar[k] = k
+	// Order pairs PBar-descending with a stable counting sort: p̄ values are
+	// small (bounded by the path-count cap), and sorting all pairs was the
+	// single hottest line of a sweep under a comparison sort.
+	maxPBar := 0
+	for _, pr := range p.Pairs {
+		if pr.PBar > maxPBar {
+			maxPBar = pr.PBar
+		}
 	}
-	sort.SliceStable(byPBar, func(a, b int) bool {
-		return p.Pairs[byPBar[a]].PBar > p.Pairs[byPBar[b]].PBar
-	})
+	bucket := make([]int, maxPBar+1)
+	for _, pr := range p.Pairs {
+		bucket[pr.PBar]++
+	}
+	for v, acc := maxPBar, 0; v >= 0; v-- {
+		bucket[v], acc = acc, acc+bucket[v]
+	}
+	byPBar := make([]int, len(p.Pairs))
+	for k, pr := range p.Pairs {
+		byPBar[bucket[pr.PBar]] = k
+		bucket[pr.PBar]++
+	}
 	for round := 0; round < 64; round++ {
 		for _, k := range byPBar {
 			if s.Active[k] {

@@ -53,6 +53,11 @@ func Cascade(
 	if trigger <= 0 || trigger > 1 {
 		return nil, fmt.Errorf("%w: %v", ErrBadTrigger, trigger)
 	}
+	// One context serves every round: only the failed set grows.
+	ctx, err := scenario.NewContext(dep, flows)
+	if err != nil {
+		return nil, fmt.Errorf("eval: cascade: %w", err)
+	}
 	res := &CascadeResult{}
 	failed := append([]int(nil), initial...)
 	for {
@@ -60,7 +65,7 @@ func Cascade(
 			res.Collapsed = true
 			return res, nil
 		}
-		inst, err := scenario.Build(dep, flows, failed)
+		inst, err := ctx.Build(failed)
 		if err != nil {
 			return nil, fmt.Errorf("eval: cascade round %d: %w", len(res.Rounds), err)
 		}

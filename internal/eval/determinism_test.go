@@ -1,0 +1,79 @@
+package eval
+
+import (
+	"reflect"
+	"testing"
+
+	"pmedic/internal/scenario"
+)
+
+// TestSweepDeterminism is the parallel engine's acceptance gate: a sweep must
+// produce the same CaseResult slice — same case order, same instances, same
+// reports, same cached statistics — no matter how many workers run it, and
+// repeated parallel runs must agree with each other. Only the wall-clock
+// Runtime fields are exempt, and they are zeroed before comparing.
+func TestSweepDeterminism(t *testing.T) {
+	dep, flows := fixtures(t)
+	run := func(workers int) []*CaseResult {
+		t.Helper()
+		cases, err := SweepOpts(dep, flows, 2, heuristics(), Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", workers, err)
+		}
+		for _, c := range cases {
+			for _, rep := range c.Reports {
+				rep.Runtime = 0
+			}
+		}
+		return cases
+	}
+
+	sequential := run(1)
+	parallel := run(8)
+	parallelAgain := run(8)
+
+	if len(sequential) != 15 {
+		t.Fatalf("2-failure sweep produced %d cases, want 15", len(sequential))
+	}
+	for i := range sequential {
+		if !reflect.DeepEqual(sequential[i], parallel[i]) {
+			t.Errorf("case %d (%s): Workers=1 and Workers=8 results differ", i, sequential[i].Label)
+		}
+		if !reflect.DeepEqual(parallel[i], parallelAgain[i]) {
+			t.Errorf("case %d (%s): two Workers=8 runs differ", i, parallel[i].Label)
+		}
+	}
+}
+
+// TestSweepOptsSharedContext reuses one context across sweeps of different k
+// and checks the engine against the context-free path.
+func TestSweepOptsSharedContext(t *testing.T) {
+	dep, flows := fixtures(t)
+	ctx, err := scenario.NewContext(dep, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 2; k++ {
+		plain, err := Sweep(dep, flows, k, heuristics())
+		if err != nil {
+			t.Fatal(err)
+		}
+		shared, err := SweepOpts(dep, flows, k, heuristics(), Options{Context: ctx, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plain) != len(shared) {
+			t.Fatalf("k=%d: %d vs %d cases", k, len(plain), len(shared))
+		}
+		for i := range plain {
+			for _, cases := range [][]*CaseResult{plain, shared} {
+				for _, rep := range cases[i].Reports {
+					rep.Runtime = 0
+				}
+			}
+			if !reflect.DeepEqual(plain[i], shared[i]) {
+				t.Errorf("k=%d case %d (%s): shared-context result differs", k, i, plain[i].Label)
+			}
+		}
+	}
+}

@@ -8,7 +8,9 @@ package eval
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"pmedic/internal/core"
@@ -37,6 +39,10 @@ type CaseResult struct {
 	// Reports maps algorithm name to its report; algorithms that returned
 	// ErrNoResult are absent.
 	Reports map[string]*core.Report
+	// progBox caches per-algorithm box statistics, computed once when the
+	// case is evaluated so the figure-rendering metric calls never re-sort
+	// the per-flow programmability vector.
+	progBox map[string]BoxStat
 }
 
 // Report returns the named algorithm's report, or nil when it has none.
@@ -44,17 +50,103 @@ func (c *CaseResult) Report(name string) *core.Report {
 	return c.Reports[name]
 }
 
+// Options tunes Sweep's evaluation engine. The zero value selects the
+// defaults: one worker per available CPU and a fresh scenario context.
+type Options struct {
+	// Workers bounds the number of failure cases evaluated concurrently.
+	// 0 selects runtime.GOMAXPROCS(0); 1 forces a fully sequential sweep.
+	// Whatever the worker count, the returned slice is in exact
+	// lexicographic case order and its contents are identical (up to
+	// wall-clock Runtime fields) to a sequential run.
+	Workers int
+	// Context, when non-nil, supplies the precomputed failure-independent
+	// scenario state; nil builds one for the sweep. Share one Context across
+	// repeated sweeps over the same deployment and workload.
+	Context *scenario.Context
+}
+
 // Sweep runs every algorithm over every failure combination of size k and
-// returns one CaseResult per case, in lexicographic case order.
+// returns one CaseResult per case, in lexicographic case order, with the
+// default Options.
 func Sweep(dep *topo.Deployment, flows *flow.Set, k int, algs []Algorithm) ([]*CaseResult, error) {
-	combos := scenario.Combinations(len(dep.Controllers), k)
-	results := make([]*CaseResult, 0, len(combos))
-	for _, failed := range combos {
-		cr, err := RunCase(dep, flows, failed, algs)
+	return SweepOpts(dep, flows, k, algs, Options{})
+}
+
+// SweepOpts is Sweep with explicit engine options: the cases fan out over a
+// bounded worker pool sharing one immutable scenario.Context, and the results
+// land in lexicographic case order regardless of completion order.
+func SweepOpts(dep *topo.Deployment, flows *flow.Set, k int, algs []Algorithm, opts Options) ([]*CaseResult, error) {
+	ctx := opts.Context
+	if ctx == nil {
+		var err error
+		ctx, err = scenario.NewContext(dep, flows)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("eval: %w", err)
 		}
-		results = append(results, cr)
+	}
+	combos := scenario.Combinations(len(dep.Controllers), k)
+	results := make([]*CaseResult, len(combos))
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(combos) {
+		workers = len(combos)
+	}
+
+	if workers <= 1 {
+		for idx, failed := range combos {
+			cr, err := runCase(ctx, failed, algs)
+			if err != nil {
+				return nil, err
+			}
+			results[idx] = cr
+		}
+		return results, nil
+	}
+
+	// Parallel path: workers pull case indices off a channel and write into
+	// their slot of the ordered results slice. On error the earliest failing
+	// case wins and the remaining queue is drained without work.
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		errIdx   = len(combos)
+	)
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				mu.Lock()
+				failed := firstErr != nil
+				mu.Unlock()
+				if failed {
+					continue
+				}
+				cr, err := runCase(ctx, combos[idx], algs)
+				if err != nil {
+					mu.Lock()
+					if idx < errIdx {
+						firstErr, errIdx = err, idx
+					}
+					mu.Unlock()
+					continue
+				}
+				results[idx] = cr
+			}
+		}()
+	}
+	for idx := range combos {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return results, nil
 }
@@ -62,7 +154,18 @@ func Sweep(dep *topo.Deployment, flows *flow.Set, k int, algs []Algorithm) ([]*C
 // RunCase builds the instance for one failure combination and runs every
 // algorithm on it.
 func RunCase(dep *topo.Deployment, flows *flow.Set, failed []int, algs []Algorithm) (*CaseResult, error) {
-	inst, err := scenario.Build(dep, flows, failed)
+	ctx, err := scenario.NewContext(dep, flows)
+	if err != nil {
+		return nil, fmt.Errorf("eval: case %v: %w", failed, err)
+	}
+	return runCase(ctx, failed, algs)
+}
+
+// runCase compiles one failure case off the shared context and evaluates
+// every algorithm on it. It touches only the immutable context plus state it
+// allocates itself, so any number of runCase calls may run concurrently.
+func runCase(ctx *scenario.Context, failed []int, algs []Algorithm) (*CaseResult, error) {
+	inst, err := ctx.Build(failed)
 	if err != nil {
 		return nil, fmt.Errorf("eval: case %v: %w", failed, err)
 	}
@@ -71,6 +174,7 @@ func RunCase(dep *topo.Deployment, flows *flow.Set, failed []int, algs []Algorit
 		Failed:   append([]int(nil), failed...),
 		Instance: inst,
 		Reports:  make(map[string]*core.Report, len(algs)),
+		progBox:  make(map[string]BoxStat, len(algs)),
 	}
 	for _, alg := range algs {
 		sol, err := alg.Run(inst)
@@ -85,6 +189,7 @@ func RunCase(dep *topo.Deployment, flows *flow.Set, failed []int, algs []Algorit
 			return nil, fmt.Errorf("eval: case %v: %s: %w", failed, alg.Name, err)
 		}
 		cr.Reports[alg.Name] = rep
+		cr.progBox[alg.Name] = Quartiles(rep.FlowProg)
 	}
 	return cr, nil
 }
@@ -127,8 +232,13 @@ func Quartiles(values []int) BoxStat {
 
 // ProgBox returns the box statistics of per-flow programmability for one
 // algorithm in one case (Figs. 4(a), 5(a), 6(a)). Unrecovered flows
-// contribute zeros, as in the paper's RetroFlow whiskers.
+// contribute zeros, as in the paper's RetroFlow whiskers. Cases produced by
+// Sweep serve the precomputed statistics; hand-built CaseResults fall back
+// to computing them on the spot.
 func (c *CaseResult) ProgBox(name string) (BoxStat, bool) {
+	if box, ok := c.progBox[name]; ok {
+		return box, true
+	}
 	rep := c.Reports[name]
 	if rep == nil {
 		return BoxStat{}, false

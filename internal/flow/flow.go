@@ -116,11 +116,15 @@ func Generate(g *topo.Graph, opts Options) (*Set, error) {
 		hopsTo[v] = graphalg.HopDistances(g, topo.NodeID(v))
 	}
 	// Memoize path counts: (node, dst) pairs repeat across flows sharing a
-	// destination.
-	countMemo := make(map[[2]topo.NodeID]int, n*n)
+	// destination. The memo is a dense at*n+dst table (-1 = unset): node IDs
+	// are dense, so this replaces per-lookup map hashing with one index.
+	countMemo := make([]int, n*n)
+	for i := range countMemo {
+		countMemo[i] = -1
+	}
 	countPaths := func(at, dst topo.NodeID) int {
-		key := [2]topo.NodeID{at, dst}
-		if c, ok := countMemo[key]; ok {
+		key := int(at)*n + int(dst)
+		if c := countMemo[key]; c >= 0 {
 			return c
 		}
 		maxHops := hopsTo[dst][at] + opts.Slack
@@ -193,11 +197,14 @@ func (s *Set) TotalTraversals() int {
 }
 
 // FlowsThrough returns the IDs of flows whose path includes any of the given
-// switches, in ascending flow order.
+// switches, in ascending flow order. It sits on the daemon's reconcile path,
+// so the membership mark is a dense []bool over node IDs rather than a map.
 func (s *Set) FlowsThrough(switches []topo.NodeID) []ID {
-	mark := make(map[topo.NodeID]bool, len(switches))
+	mark := make([]bool, len(s.counts))
 	for _, sw := range switches {
-		mark[sw] = true
+		if sw >= 0 && int(sw) < len(mark) {
+			mark[sw] = true
+		}
 	}
 	var out []ID
 	for l := range s.Flows {

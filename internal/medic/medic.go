@@ -80,6 +80,10 @@ type Config struct {
 // Medic is the reconcile loop. Create with New, feed with Start.
 type Medic struct {
 	cfg Config
+	// ctx caches the failure-independent scenario state (delay vectors,
+	// middle-layer placement, domain loads), so every reconcile compiles its
+	// failure set without re-walking the topology.
+	ctx *scenario.Context
 
 	mu sync.Mutex
 	// epoch counts applied event batches; 0 = nothing ever detected.
@@ -134,8 +138,13 @@ func New(cfg Config) (*Medic, error) {
 	if cfg.LogSize <= 0 {
 		cfg.LogSize = 256
 	}
+	ctx, err := scenario.NewContext(cfg.Dep, cfg.Flows)
+	if err != nil {
+		return nil, fmt.Errorf("medic: %w", err)
+	}
 	return &Medic{
 		cfg:         cfg,
+		ctx:         ctx,
 		failed:      make(map[int]bool),
 		unreachable: make(map[topo.NodeID]bool),
 		snap:        snapshot{converged: true, ideal: true, updatedAt: time.Now()},
@@ -258,7 +267,7 @@ func (m *Medic) reconcile() {
 		return
 	}
 
-	inst, err := scenario.Build(m.cfg.Dep, m.cfg.Flows, failed)
+	inst, err := m.ctx.Build(failed)
 	if err != nil {
 		m.setUnconverged(fmt.Sprintf("failure set %v is unplannable", failed))
 		m.log.addf(KindError, "epoch %d: compile %v: %v", epoch, failed, err)

@@ -1,0 +1,249 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pmedic/internal/core"
+	"pmedic/internal/flow"
+	"pmedic/internal/graphalg"
+	"pmedic/internal/topo"
+)
+
+// Context is everything about a (Deployment, Set) pair that does not depend
+// on which controllers failed: shortest-path delay vectors from every node,
+// the FlowVisor-style middle-layer placement, and the pre-failure load of
+// every controller domain. Building a Context costs one Dijkstra per node;
+// compiling a failure case against it (Context.Build) is then pure slicing
+// and indexing over the cached state, which is what makes sweeps over all
+// C(m, k) cases and the daemon's per-event re-planning cheap.
+//
+// A Context is immutable after NewContext and safe for concurrent use by any
+// number of goroutines; the parallel sweep engine (internal/eval) shares one
+// Context across all of its workers.
+type Context struct {
+	Dep   *topo.Deployment
+	Flows *flow.Set
+
+	// dist[v] is the shortest-path control delay (ms) from node v to every
+	// node, under the deployment's great-circle edge delays.
+	dist [][]float64
+	// middleSite is the delay-centroid node hosting the middle layer.
+	middleSite topo.NodeID
+	// domainLoad[j] is controller j's pre-failure load: Σ γ over its domain.
+	domainLoad []int
+}
+
+// NewContext precomputes the failure-independent state for the deployment
+// and workload. The result is immutable and concurrency-safe.
+func NewContext(dep *topo.Deployment, flows *flow.Set) (*Context, error) {
+	g := dep.Graph
+	delayW, err := g.EdgeDelaysMs()
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	n := g.NumNodes()
+	ctx := &Context{Dep: dep, Flows: flows}
+
+	ctx.dist = make([][]float64, n)
+	for v := 0; v < n; v++ {
+		tree, err := graphalg.Dijkstra(g, topo.NodeID(v), delayW)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: delays from %d: %w", v, err)
+		}
+		ctx.dist[v] = tree.Dist
+	}
+
+	// Middle layer: the delay-centroid node (minimum summed shortest-path
+	// delay to all nodes, lowest ID on ties).
+	best, bestSum := topo.NodeID(-1), math.Inf(1)
+	for v := 0; v < n; v++ {
+		sum := 0.0
+		for _, d := range ctx.dist[v] {
+			sum += d
+		}
+		if sum < bestSum {
+			best, bestSum = topo.NodeID(v), sum
+		}
+	}
+	ctx.middleSite = best
+
+	ctx.domainLoad = make([]int, len(dep.Controllers))
+	for j, c := range dep.Controllers {
+		load := 0
+		for _, sw := range c.Domain {
+			load += flows.SwitchFlowCount(sw)
+		}
+		ctx.domainLoad[j] = load
+	}
+	return ctx, nil
+}
+
+// MiddleSite returns the node hosting the FlowVisor-style middle layer; the
+// placement depends only on the topology, not on the failure case.
+func (ctx *Context) MiddleSite() topo.NodeID { return ctx.middleSite }
+
+// DelayMs returns the shortest-path control delay from a to b in ms.
+func (ctx *Context) DelayMs(a, b topo.NodeID) float64 { return ctx.dist[a][b] }
+
+// Build compiles the failure of the given controllers (indices into
+// Dep.Controllers) into an Instance, reusing the Context's cached state. It
+// produces exactly the Instance that scenario.Build would, case for case and
+// byte for byte; only the shared precomputation is skipped.
+func (ctx *Context) Build(failed []int) (*Instance, error) {
+	dep, flows := ctx.Dep, ctx.Flows
+	m := len(dep.Controllers)
+	if len(failed) == 0 {
+		return nil, fmt.Errorf("%w: no failed controllers", ErrBadCase)
+	}
+	if len(failed) >= m {
+		return nil, fmt.Errorf("%w: all %d controllers failed", ErrBadCase, m)
+	}
+	isFailed := make([]bool, m)
+	for _, j := range failed {
+		if j < 0 || j >= m {
+			return nil, fmt.Errorf("%w: controller index %d out of range [0,%d)", ErrBadCase, j, m)
+		}
+		if isFailed[j] {
+			return nil, fmt.Errorf("%w: controller %d listed twice", ErrBadCase, j)
+		}
+		isFailed[j] = true
+	}
+
+	inst := &Instance{Dep: dep, Flows: flows}
+	inst.Failed = append([]int(nil), failed...)
+	sort.Ints(inst.Failed)
+	for j := 0; j < m; j++ {
+		if !isFailed[j] {
+			inst.Active = append(inst.Active, j)
+		}
+	}
+
+	// Offline switches: the failed controllers' domains, ascending.
+	for _, j := range inst.Failed {
+		inst.Switches = append(inst.Switches, dep.Controllers[j].Domain...)
+	}
+	sort.Slice(inst.Switches, func(a, b int) bool { return inst.Switches[a] < inst.Switches[b] })
+	// switchIndex[sw] is the problem index of offline switch sw, or -1.
+	switchIndex := make([]int, dep.Graph.NumNodes())
+	for i := range switchIndex {
+		switchIndex[i] = -1
+	}
+	for i, sw := range inst.Switches {
+		switchIndex[sw] = i
+	}
+
+	p := &core.Problem{
+		NumSwitches:    len(inst.Switches),
+		NumControllers: len(inst.Active),
+	}
+	p.Delay = make([][]float64, p.NumSwitches)
+	p.Gamma = make([]int, p.NumSwitches)
+	for i, sw := range inst.Switches {
+		row := make([]float64, p.NumControllers)
+		for jj, j := range inst.Active {
+			row[jj] = ctx.dist[dep.Controllers[j].Site][sw]
+		}
+		p.Delay[i] = row
+		p.Gamma[i] = flows.SwitchFlowCount(sw)
+	}
+
+	// Residual capacities of the active controllers.
+	p.Rest = make([]int, p.NumControllers)
+	for jj, j := range inst.Active {
+		c := dep.Controllers[j]
+		rest := c.Capacity - ctx.domainLoad[j]
+		if rest < 0 {
+			return nil, fmt.Errorf("scenario: controller %d overloaded before failure: load %d > capacity %d",
+				j, ctx.domainLoad[j], c.Capacity)
+		}
+		p.Rest[jj] = rest
+	}
+
+	// Offline flows and eligible pairs. Pairs are gathered flow-major (flows
+	// ascending, and within a flow in path order) and then bucketed by switch
+	// below, which yields the (Switch, Flow)-sorted order Finalize expects
+	// without a comparison sort.
+	var pairs []core.Pair
+	for l := range flows.Flows {
+		f := &flows.Flows[l]
+		offline := false
+		pairStart := len(pairs)
+		for _, stop := range f.Stops {
+			i := switchIndex[stop.Node]
+			if i < 0 {
+				continue
+			}
+			offline = true
+			if stop.Programmable() {
+				pairs = append(pairs, core.Pair{Switch: i, PBar: stop.PBar()})
+			}
+		}
+		if !offline {
+			// The destination may still be offline even if no stop is.
+			if switchIndex[f.Dst] >= 0 {
+				offline = true
+			}
+		}
+		if !offline {
+			continue
+		}
+		if len(pairs) == pairStart {
+			inst.Unrecoverable = append(inst.Unrecoverable, f.ID)
+			continue
+		}
+		flowIdx := len(inst.FlowIDs)
+		inst.FlowIDs = append(inst.FlowIDs, f.ID)
+		for k := pairStart; k < len(pairs); k++ {
+			pairs[k].Flow = flowIdx
+		}
+	}
+	p.Pairs = sortPairsBySwitch(pairs, p.NumSwitches)
+	p.NumFlows = len(inst.FlowIDs)
+	if p.NumFlows == 0 {
+		return nil, fmt.Errorf("%w: failure case has no recoverable offline flows", ErrBadCase)
+	}
+	if err := p.Finalize(); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	p.BudgetMs = p.IdealDelayBudget()
+	inst.Problem = p
+
+	// Middle-layer delay matrix: switch → layer → controller, all from the
+	// cached distance vectors of the precomputed centroid site.
+	midDist := ctx.dist[ctx.middleSite]
+	inst.MiddleSite = ctx.middleSite
+	inst.MiddleDelay = make([][]float64, len(inst.Switches))
+	for i, sw := range inst.Switches {
+		row := make([]float64, len(inst.Active))
+		for jj, j := range inst.Active {
+			row[jj] = midDist[sw] + midDist[dep.Controllers[j].Site] + FlowVisorProcessingMs
+		}
+		inst.MiddleDelay[i] = row
+	}
+	return inst, nil
+}
+
+// sortPairsBySwitch reorders flow-major pairs into (Switch, Flow) ascending
+// order with a counting sort: pairs arrive with flows ascending, and a simple
+// path visits a switch at most once, so stable per-switch bucketing preserves
+// ascending flow order within each switch.
+func sortPairsBySwitch(pairs []core.Pair, numSwitches int) []core.Pair {
+	if len(pairs) == 0 {
+		return pairs
+	}
+	start := make([]int, numSwitches+1)
+	for _, pr := range pairs {
+		start[pr.Switch+1]++
+	}
+	for i := 1; i <= numSwitches; i++ {
+		start[i] += start[i-1]
+	}
+	out := make([]core.Pair, len(pairs))
+	for _, pr := range pairs {
+		out[start[pr.Switch]] = pr
+		start[pr.Switch]++
+	}
+	return out
+}

@@ -7,15 +7,11 @@ package scenario
 
 import (
 	"errors"
-	"fmt"
-	"math"
-	"sort"
 	"strconv"
 	"strings"
 
 	"pmedic/internal/core"
 	"pmedic/internal/flow"
-	"pmedic/internal/graphalg"
 	"pmedic/internal/topo"
 )
 
@@ -59,181 +55,17 @@ var ErrBadCase = errors.New("scenario: invalid failure case")
 // Build compiles the failure of the given controllers (indices into
 // dep.Controllers) into an Instance. At least one controller must fail and
 // at least one must survive.
+//
+// Build constructs a throwaway Context per call; callers compiling more than
+// one failure case over the same deployment and workload (sweeps, the online
+// daemon) should build one Context with NewContext and use Context.Build,
+// which skips the shared precomputation.
 func Build(dep *topo.Deployment, flows *flow.Set, failed []int) (*Instance, error) {
-	m := len(dep.Controllers)
-	if len(failed) == 0 {
-		return nil, fmt.Errorf("%w: no failed controllers", ErrBadCase)
-	}
-	if len(failed) >= m {
-		return nil, fmt.Errorf("%w: all %d controllers failed", ErrBadCase, m)
-	}
-	isFailed := make([]bool, m)
-	for _, j := range failed {
-		if j < 0 || j >= m {
-			return nil, fmt.Errorf("%w: controller index %d out of range [0,%d)", ErrBadCase, j, m)
-		}
-		if isFailed[j] {
-			return nil, fmt.Errorf("%w: controller %d listed twice", ErrBadCase, j)
-		}
-		isFailed[j] = true
-	}
-
-	inst := &Instance{Dep: dep, Flows: flows}
-	inst.Failed = append([]int(nil), failed...)
-	sort.Ints(inst.Failed)
-	for j := 0; j < m; j++ {
-		if !isFailed[j] {
-			inst.Active = append(inst.Active, j)
-		}
-	}
-
-	// Offline switches: the failed controllers' domains, ascending.
-	for _, j := range inst.Failed {
-		inst.Switches = append(inst.Switches, dep.Controllers[j].Domain...)
-	}
-	sort.Slice(inst.Switches, func(a, b int) bool { return inst.Switches[a] < inst.Switches[b] })
-	switchIndex := make(map[topo.NodeID]int, len(inst.Switches))
-	for i, sw := range inst.Switches {
-		switchIndex[sw] = i
-	}
-
-	g := dep.Graph
-	delayW, err := g.EdgeDelaysMs()
+	ctx, err := NewContext(dep, flows)
 	if err != nil {
-		return nil, fmt.Errorf("scenario: %w", err)
-	}
-	// Shortest-path control delays from every active controller site.
-	ctrlDist := make([][]float64, len(inst.Active))
-	for jj, j := range inst.Active {
-		tree, err := graphalg.Dijkstra(g, dep.Controllers[j].Site, delayW)
-		if err != nil {
-			return nil, fmt.Errorf("scenario: controller %d delays: %w", j, err)
-		}
-		ctrlDist[jj] = tree.Dist
-	}
-
-	p := &core.Problem{
-		NumSwitches:    len(inst.Switches),
-		NumControllers: len(inst.Active),
-	}
-	p.Delay = make([][]float64, p.NumSwitches)
-	p.Gamma = make([]int, p.NumSwitches)
-	for i, sw := range inst.Switches {
-		row := make([]float64, p.NumControllers)
-		for jj := range inst.Active {
-			row[jj] = ctrlDist[jj][sw]
-		}
-		p.Delay[i] = row
-		p.Gamma[i] = flows.SwitchFlowCount(sw)
-	}
-
-	// Residual capacities of the active controllers.
-	p.Rest = make([]int, p.NumControllers)
-	for jj, j := range inst.Active {
-		c := dep.Controllers[j]
-		load := 0
-		for _, sw := range c.Domain {
-			load += flows.SwitchFlowCount(sw)
-		}
-		rest := c.Capacity - load
-		if rest < 0 {
-			return nil, fmt.Errorf("scenario: controller %d overloaded before failure: load %d > capacity %d",
-				j, load, c.Capacity)
-		}
-		p.Rest[jj] = rest
-	}
-
-	// Offline flows and eligible pairs.
-	for l := range flows.Flows {
-		f := &flows.Flows[l]
-		offline := false
-		var pairs []core.Pair
-		for _, stop := range f.Stops {
-			i, ok := switchIndex[stop.Node]
-			if !ok {
-				continue
-			}
-			offline = true
-			if stop.Programmable() {
-				pairs = append(pairs, core.Pair{Switch: i, PBar: stop.PBar()})
-			}
-		}
-		if !offline {
-			// The destination may still be offline even if no stop is.
-			if _, ok := switchIndex[f.Dst]; ok {
-				offline = true
-			}
-		}
-		if !offline {
-			continue
-		}
-		if len(pairs) == 0 {
-			inst.Unrecoverable = append(inst.Unrecoverable, f.ID)
-			continue
-		}
-		flowIdx := len(inst.FlowIDs)
-		inst.FlowIDs = append(inst.FlowIDs, f.ID)
-		for _, pr := range pairs {
-			pr.Flow = flowIdx
-			p.Pairs = append(p.Pairs, pr)
-		}
-	}
-	sort.Slice(p.Pairs, func(a, b int) bool {
-		if p.Pairs[a].Switch != p.Pairs[b].Switch {
-			return p.Pairs[a].Switch < p.Pairs[b].Switch
-		}
-		return p.Pairs[a].Flow < p.Pairs[b].Flow
-	})
-	p.NumFlows = len(inst.FlowIDs)
-	if p.NumFlows == 0 {
-		return nil, fmt.Errorf("%w: failure case has no recoverable offline flows", ErrBadCase)
-	}
-	if err := p.Finalize(); err != nil {
-		return nil, fmt.Errorf("scenario: %w", err)
-	}
-	p.BudgetMs = p.IdealDelayBudget()
-	inst.Problem = p
-
-	if err := inst.buildMiddleLayer(delayW, ctrlDist); err != nil {
 		return nil, err
 	}
-	return inst, nil
-}
-
-// buildMiddleLayer places the FlowVisor-style layer at the delay-centroid
-// node (minimum summed shortest-path delay to all nodes) and precomputes the
-// switch→layer→controller delay matrix.
-func (inst *Instance) buildMiddleLayer(delayW graphalg.Weight, ctrlDist [][]float64) error {
-	g := inst.Dep.Graph
-	n := g.NumNodes()
-	best, bestSum := topo.NodeID(-1), math.Inf(1)
-	var midDist []float64
-	for v := 0; v < n; v++ {
-		tree, err := graphalg.Dijkstra(g, topo.NodeID(v), delayW)
-		if err != nil {
-			return fmt.Errorf("scenario: middle layer placement: %w", err)
-		}
-		sum := 0.0
-		for _, d := range tree.Dist {
-			sum += d
-		}
-		if sum < bestSum {
-			best, bestSum = topo.NodeID(v), sum
-			midDist = tree.Dist
-		}
-	}
-	inst.MiddleSite = best
-	inst.MiddleDelay = make([][]float64, len(inst.Switches))
-	for i, sw := range inst.Switches {
-		row := make([]float64, len(inst.Active))
-		for jj := range inst.Active {
-			site := inst.Dep.Controllers[inst.Active[jj]].Site
-			row[jj] = midDist[sw] + midDist[site] + FlowVisorProcessingMs
-		}
-		inst.MiddleDelay[i] = row
-		_ = ctrlDist
-	}
-	return nil
+	return ctx.Build(failed)
 }
 
 // Evaluate runs core.Evaluate with this instance's middle-layer delay model.
