@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test test-race bench bench-diff bench-gate
+.PHONY: check fmt vet build test test-race bench bench-diff bench-gate profile
 
 check: fmt vet build test-race
 
@@ -20,28 +20,39 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-# bench runs the root benchmark suite once (fixed seeds, -benchtime 1x) and
-# writes the raw `go test -json` stream to BENCH_<n>.json, where n is one
-# past the highest existing baseline — compare files across commits to track
-# drift.
+# bench runs the root benchmark suite once (fixed seeds, -benchtime 1x,
+# -benchmem for B/op and allocs/op) and writes the raw `go test -json` stream
+# to BENCH_<n>.json, where n is one past the highest existing baseline —
+# compare files across commits to track drift.
 bench:
 	@n=1; while [ -e "BENCH_$$n.json" ]; do n=$$((n+1)); done; \
 	out="BENCH_$$n.json"; \
 	echo "writing $$out"; \
-	$(GO) test -json -run '^$$' -bench . -benchtime 1x . > "$$out" || { rm -f "$$out"; exit 1; }
+	$(GO) test -json -run '^$$' -bench . -benchtime 1x -benchmem . > "$$out" || { rm -f "$$out"; exit 1; }
 
 # bench-diff prints an old/new/delta table for the two newest committed
 # baselines (second-highest n = old, highest n = new).
 bench-diff:
 	$(GO) run ./cmd/benchdiff
 
-# bench-gate re-runs the Fig. 5 sweep benchmarks (3 iterations each) and
-# fails if any of them regressed by more than 20% ns/op against the newest
-# committed BENCH_<n>.json baseline. CI runs this on every change.
+# bench-gate re-runs the Fig. 5 sweep benchmarks and the Fig. 7 solver bench
+# (which has a fixed branch-&-bound node budget, so its ns/op tracks solver
+# throughput) and fails if any of them regressed by more than 20% ns/op
+# against the newest committed BENCH_<n>.json baseline. CI runs this on every
+# change.
+GATE_BENCHES = BenchmarkFig5|BenchmarkFig7ComputationTime
+
 bench-gate:
 	@base=""; n=1; while [ -e "BENCH_$$n.json" ]; do base="BENCH_$$n.json"; n=$$((n+1)); done; \
 	[ -n "$$base" ] || { echo "bench-gate: no BENCH_<n>.json baseline (run make bench)"; exit 1; }; \
 	new="$$(mktemp)"; trap 'rm -f "$$new"' EXIT; \
 	echo "comparing against $$base"; \
-	$(GO) test -json -run '^$$' -bench 'BenchmarkFig5' -benchtime 3x . > "$$new" || exit 1; \
-	$(GO) run ./cmd/benchdiff -gate 'BenchmarkFig5' -max-regress 0.20 "$$base" "$$new"
+	$(GO) test -json -run '^$$' -bench '$(GATE_BENCHES)' -benchtime 3x . > "$$new" || exit 1; \
+	$(GO) run ./cmd/benchdiff -gate '$(GATE_BENCHES)' -max-regress 0.20 "$$base" "$$new"
+
+# profile captures CPU and heap profiles of a pmsim evaluation run into
+# ./profiles; inspect with `go tool pprof profiles/pmsim.cpu.pb.gz`.
+profile:
+	@mkdir -p profiles
+	$(GO) run ./cmd/pmsim -scenario 2 -skip-optimal -cpuprofile profiles/pmsim.cpu.pb.gz -memprofile profiles/pmsim.mem.pb.gz > /dev/null
+	@echo "wrote profiles/pmsim.cpu.pb.gz profiles/pmsim.mem.pb.gz"

@@ -10,7 +10,9 @@
 // With no positional arguments it discovers the two newest BENCH_<n>.json
 // baselines in the current directory (highest n = new). With -gate, any
 // benchmark whose name matches the regexp and whose ns/op regressed by more
-// than -max-regress exits nonzero — the CI perf gate.
+// than -max-regress exits nonzero — the CI perf gate. When either stream was
+// collected with -benchmem, B/op and allocs/op columns are shown as well
+// (informational only; the gate stays on ns/op).
 package main
 
 import (
@@ -46,27 +48,27 @@ func run(args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
-	oldNs, err := parseBenchJSON(oldPath)
+	oldRes, err := parseBenchJSON(oldPath)
 	if err != nil {
 		return fmt.Errorf("%s: %w", oldPath, err)
 	}
-	newNs, err := parseBenchJSON(newPath)
+	newRes, err := parseBenchJSON(newPath)
 	if err != nil {
 		return fmt.Errorf("%s: %w", newPath, err)
 	}
-	if len(oldNs) == 0 {
+	if len(oldRes) == 0 {
 		return fmt.Errorf("%s: no benchmark results", oldPath)
 	}
-	if len(newNs) == 0 {
+	if len(newRes) == 0 {
 		return fmt.Errorf("%s: no benchmark results", newPath)
 	}
 
-	names := make([]string, 0, len(oldNs))
-	for name := range oldNs {
+	names := make([]string, 0, len(oldRes))
+	for name := range oldRes {
 		names = append(names, name)
 	}
-	for name := range newNs {
-		if _, ok := oldNs[name]; !ok {
+	for name := range newRes {
+		if _, ok := oldRes[name]; !ok {
 			names = append(names, name)
 		}
 	}
@@ -80,26 +82,55 @@ func run(args []string, out *os.File) error {
 		}
 	}
 
+	// Memory columns appear only when at least one stream was collected with
+	// -benchmem; mixed baselines (old without, new with) show "-" on the side
+	// that lacks the stats.
+	haveMem := false
+	for _, r := range oldRes {
+		haveMem = haveMem || r.hasMem
+	}
+	for _, r := range newRes {
+		haveMem = haveMem || r.hasMem
+	}
+
 	fmt.Fprintf(out, "old: %s\nnew: %s\n\n", oldPath, newPath)
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', tabwriter.AlignRight)
-	fmt.Fprintf(w, "benchmark\told ns/op\tnew ns/op\tdelta\t\n")
+	if haveMem {
+		fmt.Fprintf(w, "benchmark\told ns/op\tnew ns/op\tdelta\told B/op\tnew B/op\told allocs/op\tnew allocs/op\t\n")
+	} else {
+		fmt.Fprintf(w, "benchmark\told ns/op\tnew ns/op\tdelta\t\n")
+	}
+	memCols := func(o, n result, haveOld, haveNew bool) string {
+		if !haveMem {
+			return ""
+		}
+		cell := func(ok bool, v float64) string {
+			if !ok {
+				return "-"
+			}
+			return strconv.FormatFloat(v, 'f', 0, 64)
+		}
+		return fmt.Sprintf("%s\t%s\t%s\t%s\t",
+			cell(haveOld && o.hasMem, o.bytes), cell(haveNew && n.hasMem, n.bytes),
+			cell(haveOld && o.hasMem, o.allocs), cell(haveNew && n.hasMem, n.allocs))
+	}
 	var regressed []string
 	for _, name := range names {
-		o, haveOld := oldNs[name]
-		n, haveNew := newNs[name]
+		o, haveOld := oldRes[name]
+		n, haveNew := newRes[name]
 		switch {
 		case !haveOld:
-			fmt.Fprintf(w, "%s\t-\t%.0f\tnew\t\n", name, n)
+			fmt.Fprintf(w, "%s\t-\t%.0f\tnew\t%s\n", name, n.ns, memCols(o, n, false, true))
 		case !haveNew:
-			fmt.Fprintf(w, "%s\t%.0f\t-\tgone\t\n", name, o)
+			fmt.Fprintf(w, "%s\t%.0f\t-\tgone\t%s\n", name, o.ns, memCols(o, n, true, false))
 		default:
-			delta := (n - o) / o
+			delta := (n.ns - o.ns) / o.ns
 			mark := ""
 			if gateRe != nil && gateRe.MatchString(name) && delta > *maxRegress {
 				mark = "  REGRESSED"
 				regressed = append(regressed, name)
 			}
-			fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%+.1f%%%s\t\n", name, o, n, 100*delta, mark)
+			fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%+.1f%%%s\t%s\n", name, o.ns, n.ns, 100*delta, mark, memCols(o, n, true, true))
 		}
 	}
 	if err := w.Flush(); err != nil {
@@ -151,14 +182,24 @@ type event struct {
 	Output  string
 }
 
-// benchLine matches a benchmark result, tolerating a -<GOMAXPROCS> name
-// suffix so baselines from machines with different core counts compare.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// result is one benchmark's measurements; bytes and allocs are populated
+// only when the stream was produced with -benchmem (hasMem).
+type result struct {
+	ns     float64
+	bytes  float64
+	allocs float64
+	hasMem bool
+}
 
-// parseBenchJSON extracts name -> ns/op from a `go test -json` stream.
+// benchLine matches a benchmark result, tolerating a -<GOMAXPROCS> name
+// suffix so baselines from machines with different core counts compare, and
+// optional -benchmem columns.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
+
+// parseBenchJSON extracts name -> result from a `go test -json` stream.
 // test2json fragments long lines across several output events, so the
 // output text is reassembled per package before scanning for bench lines.
-func parseBenchJSON(path string) (map[string]float64, error) {
+func parseBenchJSON(path string) (map[string]result, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -191,7 +232,7 @@ func parseBenchJSON(path string) (map[string]float64, error) {
 		return nil, err
 	}
 
-	results := make(map[string]float64)
+	results := make(map[string]result)
 	for _, b := range text {
 		for _, line := range strings.Split(b.String(), "\n") {
 			m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
@@ -202,7 +243,15 @@ func parseBenchJSON(path string) (map[string]float64, error) {
 			if err != nil {
 				continue
 			}
-			results[m[1]] = ns
+			r := result{ns: ns}
+			if m[3] != "" {
+				if by, err := strconv.ParseFloat(m[3], 64); err == nil {
+					if al, err := strconv.ParseFloat(m[4], 64); err == nil {
+						r.bytes, r.allocs, r.hasMem = by, al, true
+					}
+				}
+			}
+			results[m[1]] = r
 		}
 	}
 	return results, nil

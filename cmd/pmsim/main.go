@@ -6,8 +6,8 @@
 //
 // Usage:
 //
-//	pmsim [-scenario 1|2|3|all] [-skip-optimal] [-opt-time 60s] [-lambda 0.001]
-//	      [-workers n]
+//	pmsim [-scenario 1|2|3|all] [-skip-optimal] [-opt-time 60s] [-opt-workers n]
+//	      [-lambda 0.001] [-workers n] [-cpuprofile f] [-memprofile f]
 package main
 
 import (
@@ -26,6 +26,7 @@ import (
 	"pmedic/internal/eval"
 	"pmedic/internal/flow"
 	"pmedic/internal/opt"
+	"pmedic/internal/prof"
 	"pmedic/internal/scenario"
 	"pmedic/internal/topo"
 )
@@ -41,27 +42,41 @@ type config struct {
 	scenarios   []int
 	skipOptimal bool
 	optTime     time.Duration
+	optWorkers  int
 	lambda      float64
 	slack       int
 	csvDir      string
 	workers     int
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("pmsim", flag.ContinueOnError)
 	scenarioFlag := fs.String("scenario", "all", "failure scenario: 1, 2, 3, or all")
 	skipOptimal := fs.Bool("skip-optimal", false, "skip the Optimal (branch & bound) comparator")
 	optTime := fs.Duration("opt-time", 60*time.Second, "time budget per case for Optimal")
+	optWorkers := fs.Int("opt-workers", 0, "branch & bound worker goroutines per Optimal solve (0 = 1)")
 	lambda := fs.Float64("lambda", 0, "objective weight λ (0 = default)")
 	slack := fs.Int("slack", 0, "path-count hop slack (0 = default)")
 	csvDir := fs.String("csv", "", "also write each figure panel as CSV into this directory")
 	workers := fs.Int("workers", 0, "concurrent failure cases per sweep (0 = one per CPU, 1 = sequential)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stop, perr := prof.Start(*cpuProfile, *memProfile)
+	if perr != nil {
+		return perr
+	}
+	defer func() {
+		if serr := stop(); serr != nil && err == nil {
+			err = serr
+		}
+	}()
 	cfg := config{
 		skipOptimal: *skipOptimal,
 		optTime:     *optTime,
+		optWorkers:  *optWorkers,
 		lambda:      *lambda,
 		slack:       *slack,
 		csvDir:      *csvDir,
@@ -92,7 +107,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	algs := Algorithms(cfg.lambda, cfg.skipOptimal, cfg.optTime)
+	algs := Algorithms(cfg.lambda, cfg.skipOptimal, cfg.optTime, cfg.optWorkers)
 	for _, k := range cfg.scenarios {
 		cases, err := eval.SweepOpts(dep, flows, k, algs, eval.Options{Workers: cfg.workers, Context: sctx})
 		if err != nil {
@@ -144,7 +159,7 @@ func exportCSV(dir string, k int, cases []*eval.CaseResult, names []string) erro
 }
 
 // Algorithms builds the comparator list. λ = 0 selects the default weight.
-func Algorithms(lambda float64, skipOptimal bool, optTime time.Duration) []eval.Algorithm {
+func Algorithms(lambda float64, skipOptimal bool, optTime time.Duration, optWorkers int) []eval.Algorithm {
 	withLambda := func(inst *scenario.Instance) *core.Problem {
 		if lambda > 0 {
 			inst.Problem.Lambda = lambda
@@ -163,18 +178,35 @@ func Algorithms(lambda float64, skipOptimal bool, optTime time.Duration) []eval.
 		}},
 	}
 	if !skipOptimal {
+		solve := func(inst *scenario.Instance, warm *core.Solution) (*core.Solution, error) {
+			sol, err := opt.Solve(inst.Problem, opt.Options{
+				TimeLimit: optTime,
+				Workers:   optWorkers,
+				Warm:      warm,
+			})
+			if errors.Is(err, opt.ErrNoSolution) {
+				return nil, fmt.Errorf("%w: %v", eval.ErrNoResult, err)
+			}
+			return sol, err
+		}
 		algs = append(algs, eval.Algorithm{
 			Name: "Optimal",
+			// Direct runs compute the PM warm start themselves.
 			Run: func(inst *scenario.Instance) (*core.Solution, error) {
 				warm, err := core.PM(withLambda(inst))
 				if err != nil {
 					warm = nil
 				}
-				sol, err := opt.Solve(inst.Problem, opt.Options{TimeLimit: optTime, Warm: warm})
-				if errors.Is(err, opt.ErrNoSolution) {
-					return nil, fmt.Errorf("%w: %v", eval.ErrNoResult, err)
+				return solve(inst, warm)
+			},
+			// In a sweep the harness hands over the PM solution already
+			// computed for the case, so the warm start is free.
+			RunSeeded: func(inst *scenario.Instance, prior map[string]*core.Solution) (*core.Solution, error) {
+				warm := prior["PM"]
+				if warm == nil {
+					warm, _ = core.PM(withLambda(inst))
 				}
-				return sol, err
+				return solve(inst, warm)
 			},
 		})
 	}

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	pmsolve -failed 13,16 [-algorithm pm|retroflow|pg|optimal]
-//	        [-opt-time 60s] [-unordered] [-slack n] [-limit n] [-pretty]
+//	        [-opt-time 60s] [-opt-workers n] [-unordered] [-slack n] [-limit n]
+//	        [-pretty] [-cpuprofile f] [-memprofile f]
 //
 // The -failed list names controllers by their site IDs as printed by pmtopo
 // (e.g. "13,16" is the paper-style case (13, 16)).
@@ -26,6 +27,7 @@ import (
 	"pmedic/internal/core"
 	"pmedic/internal/flow"
 	"pmedic/internal/opt"
+	"pmedic/internal/prof"
 	"pmedic/internal/scenario"
 	"pmedic/internal/topo"
 )
@@ -84,22 +86,34 @@ type sdnFlowEntry struct {
 	Flows  []int `json:"flows"`
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("pmsolve", flag.ContinueOnError)
 	failedFlag := fs.String("failed", "", "comma-separated failed controller site IDs, e.g. 13,16")
 	algFlag := fs.String("algorithm", "pm", "pm, retroflow, pg, or optimal")
 	optTime := fs.Duration("opt-time", 60*time.Second, "time budget for -algorithm optimal")
+	optWorkers := fs.Int("opt-workers", 0, "branch & bound worker goroutines for -algorithm optimal (0 = 1)")
 	unordered := fs.Bool("unordered", false, "one flow per unordered pair")
 	slack := fs.Int("slack", 0, "path-count hop slack (0 = default)")
 	limit := fs.Int("limit", 0, "path-count cap (0 = default)")
 	pretty := fs.Bool("pretty", false, "indent the JSON output")
 	withSensitivity := fs.Bool("sensitivity", false, "include LP-relaxation shadow prices")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *failedFlag == "" {
 		return errors.New("-failed is required (site IDs, e.g. -failed 13,16)")
 	}
+	stop, perr := prof.Start(*cpuProfile, *memProfile)
+	if perr != nil {
+		return perr
+	}
+	defer func() {
+		if serr := stop(); serr != nil && err == nil {
+			err = serr
+		}
+	}()
 
 	dep, err := topo.ATT()
 	if err != nil {
@@ -136,7 +150,7 @@ func run(args []string, out io.Writer) error {
 		if warm, err = core.PM(inst.Problem); err != nil {
 			warm = nil
 		}
-		sol, err = opt.Solve(inst.Problem, opt.Options{TimeLimit: *optTime, Warm: warm})
+		sol, err = opt.Solve(inst.Problem, opt.Options{TimeLimit: *optTime, Workers: *optWorkers, Warm: warm})
 		if errors.Is(err, opt.ErrNoSolution) {
 			doc.NoResult = true
 			doc.Reason = err.Error()

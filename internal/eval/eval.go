@@ -25,6 +25,20 @@ import (
 type Algorithm struct {
 	Name string
 	Run  func(inst *scenario.Instance) (*core.Solution, error)
+	// RunSeeded, when non-nil, replaces Run for cases evaluated by the
+	// harness: it additionally receives the solutions of the algorithms that
+	// ran earlier in the same case, keyed by name (absent when they reported
+	// ErrNoResult). The Optimal comparator uses it to warm-start branch &
+	// bound from the PM solution already computed for the case.
+	RunSeeded func(inst *scenario.Instance, prior map[string]*core.Solution) (*core.Solution, error)
+}
+
+// run dispatches to RunSeeded when available, else Run.
+func (a Algorithm) run(inst *scenario.Instance, prior map[string]*core.Solution) (*core.Solution, error) {
+	if a.RunSeeded != nil {
+		return a.RunSeeded(inst, prior)
+	}
+	return a.Run(inst)
 }
 
 // ErrNoResult marks an algorithm that produced no solution for a case;
@@ -176,14 +190,16 @@ func runCase(ctx *scenario.Context, failed []int, algs []Algorithm) (*CaseResult
 		Reports:  make(map[string]*core.Report, len(algs)),
 		progBox:  make(map[string]BoxStat, len(algs)),
 	}
+	prior := make(map[string]*core.Solution, len(algs))
 	for _, alg := range algs {
-		sol, err := alg.Run(inst)
+		sol, err := alg.run(inst, prior)
 		if errors.Is(err, ErrNoResult) {
 			continue
 		}
 		if err != nil {
 			return nil, fmt.Errorf("eval: case %v: %s: %w", failed, alg.Name, err)
 		}
+		prior[alg.Name] = sol
 		rep, err := inst.Evaluate(sol)
 		if err != nil {
 			return nil, fmt.Errorf("eval: case %v: %s: %w", failed, alg.Name, err)

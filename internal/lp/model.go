@@ -1,7 +1,13 @@
-// Package lp implements a linear-programming solver: a dense revised primal
-// simplex with bounded variables, two phases (artificial-variable
-// feasibility, then optimality), Dantzig pricing with a Bland anti-cycling
-// fallback, and periodic basis refactorization.
+// Package lp implements a linear-programming solver: a revised primal
+// simplex with bounded variables, two phases (slack crash basis plus
+// artificial variables for feasibility, then optimality), Dantzig pricing
+// with a Bland anti-cycling fallback, and periodic basis refactorization.
+// The constraint matrix is stored in compressed-sparse-column form; the
+// basis inverse is a product-form eta file with sparse refactorization for
+// large models and a dense explicit inverse for tiny ones. Solves can be
+// warm-started from the basis of a related solve (Solution.Basis →
+// Options.Warm), which branch & bound uses to start child nodes from their
+// parent's vertex.
 //
 // It is the bottom layer of the reproduction's GUROBI substitute; package
 // mip adds branch & bound for integer models on top of it.
@@ -172,8 +178,35 @@ type Solution struct {
 	// optimality, in the model's sense: the objective's rate of change per
 	// unit of slack in the row's right-hand side. Nil unless StatusOptimal.
 	Duals []float64
+	// Basis is the final simplex basis, suitable for warm-starting a solve
+	// of the same model after bound changes (Options.Warm). Nil unless
+	// StatusOptimal, or when the final basis is not exportable (a redundant
+	// row kept an artificial variable basic).
+	Basis *Basis
 	Iters int
 }
+
+// Basis is an opaque snapshot of a simplex basis over the model's expanded
+// (structural + slack) variable space. It is only meaningful for a model
+// with the same variables and rows it was exported from; bounds may differ.
+type Basis struct {
+	vars  []int32 // basic variable per position
+	upper []int32 // nonbasic variables resting at their upper bound
+}
+
+// Factorization selects the basis-inverse representation.
+type Factorization int
+
+// Factorization choices.
+const (
+	// FactorAuto (the default) picks the sparse eta file for large models
+	// and the dense explicit inverse for tiny ones.
+	FactorAuto Factorization = iota
+	// FactorDense forces the dense explicit inverse.
+	FactorDense
+	// FactorSparse forces the product-form eta file.
+	FactorSparse
+)
 
 // Options tunes the solver. The zero value selects defaults.
 type Options struct {
@@ -181,6 +214,14 @@ type Options struct {
 	MaxIters int
 	// Tol is the feasibility/optimality tolerance (default 1e-7).
 	Tol float64
+	// Factorization selects the basis-inverse representation (default
+	// FactorAuto).
+	Factorization Factorization
+	// Warm, when non-nil, attempts to start from a basis exported by a
+	// previous solve of the same model (Solution.Basis). A warm basis that
+	// is singular or primal-infeasible under the current bounds is silently
+	// discarded and the solve falls back to the two-phase cold start.
+	Warm *Basis
 }
 
 func (o Options) withDefaults() Options {
@@ -213,5 +254,16 @@ func (m *Model) SolveWith(opts Options) (*Solution, error) {
 		}
 	}
 	s := newSimplex(m, opts)
-	return s.solve()
+	return s.solve(opts.Warm)
+}
+
+// Clone returns a model sharing this model's immutable structure (rows,
+// objective, names) with independent bounds. It exists so branch & bound
+// workers can tighten bounds concurrently; neither model may gain variables
+// or rows after cloning.
+func (m *Model) Clone() *Model {
+	cp := *m
+	cp.lower = append([]float64(nil), m.lower...)
+	cp.upper = append([]float64(nil), m.upper...)
+	return &cp
 }

@@ -2,8 +2,8 @@ package lp
 
 import (
 	"errors"
-	"fmt"
 	"math"
+	"sort"
 )
 
 // varState tracks where a variable currently sits.
@@ -15,72 +15,91 @@ const (
 	inBasis
 )
 
-// column is a sparse constraint-matrix column.
-type column struct {
-	rows []int32
-	vals []float64
-}
-
 // simplex is a bounded-variable revised primal simplex over the expanded
-// (structural + slack + artificial) variable space.
+// (structural + slack + artificial) variable space. The constraint matrix is
+// stored in compressed-sparse-column (CSC) form; the basis inverse lives
+// behind the factorizer interface (dense explicit inverse for tiny models,
+// product-form eta file with sparse refactorization otherwise).
 type simplex struct {
 	opts Options
 
 	m int // rows
 	n int // structural variables
 
-	cols   []column  // all columns, structural then slack then artificial
+	// CSC storage for all columns, structural then slack then artificial.
+	// Column v occupies rowIdx/colVal[colPtr[v]:colPtr[v+1]].
+	colPtr []int32
+	rowIdx []int32
+	colVal []float64
+
 	lower  []float64 // bounds per expanded variable
 	upper  []float64
 	costP2 []float64 // phase-2 (true, minimization) costs
 	costP1 []float64 // phase-1 costs (1 on artificials)
 	b      []float64 // right-hand sides
 
+	slackVar []int32 // per row: slack variable index, or -1 (EQ rows)
+
 	nArt     int
 	artStart int // first artificial variable index
 
-	basis        []int // variable in each basis position
-	state        []varState
-	xB           []float64 // values of basic variables by basis position
-	binv         [][]float64
+	basis []int // variable in each basis position (position == constraint row)
+	state []varState
+	xB    []float64 // values of basic variables by basis position
+
+	fact         factorizer
 	refreshEvery int
 
 	maximize bool
 	iters    int
 }
 
+func (s *simplex) numCols() int { return len(s.colPtr) - 1 }
+
+// col returns column v's sparse entries.
+func (s *simplex) col(v int) ([]int32, []float64) {
+	a, b := s.colPtr[v], s.colPtr[v+1]
+	return s.rowIdx[a:b], s.colVal[a:b]
+}
+
 // newSimplex expands the model into computational form.
 func newSimplex(m *Model, opts Options) *simplex {
 	s := &simplex{
-		opts:         opts,
-		m:            len(m.rows),
-		n:            len(m.obj),
-		maximize:     m.sense == Maximize,
-		refreshEvery: 256,
+		opts:     opts,
+		m:        len(m.rows),
+		n:        len(m.obj),
+		maximize: m.sense == Maximize,
 	}
-	// Structural columns.
-	s.cols = make([]column, s.n, s.n+2*s.m)
-	for i, r := range m.rows {
+	// Structural columns in CSC form: count, prefix-sum, fill, then merge
+	// duplicate variable mentions within a row (AddRow permits them).
+	counts := make([]int32, s.n+1)
+	for _, r := range m.rows {
 		for _, t := range r.terms {
-			c := &s.cols[t.Var]
-			// Merge duplicate variable mentions within the same row.
-			merged := false
-			for k := len(c.rows) - 1; k >= 0; k-- {
-				if c.rows[k] == int32(i) {
-					c.vals[k] += t.Coeff
-					merged = true
-					break
-				}
-			}
-			if !merged {
-				c.rows = append(c.rows, int32(i))
-				c.vals = append(c.vals, t.Coeff)
-			}
+			counts[t.Var+1]++
 		}
 	}
-	s.lower = append(s.lower, m.lower...)
-	s.upper = append(s.upper, m.upper...)
-	s.costP2 = make([]float64, s.n)
+	s.colPtr = make([]int32, s.n+1)
+	for v := 0; v < s.n; v++ {
+		s.colPtr[v+1] = s.colPtr[v] + counts[v+1]
+	}
+	nnz := s.colPtr[s.n]
+	s.rowIdx = make([]int32, nnz, nnz+int32(2*s.m))
+	s.colVal = make([]float64, nnz, nnz+int32(2*s.m))
+	next := make([]int32, s.n)
+	copy(next, s.colPtr[:s.n])
+	for i, r := range m.rows {
+		for _, t := range r.terms {
+			k := next[t.Var]
+			s.rowIdx[k] = int32(i)
+			s.colVal[k] = t.Coeff
+			next[t.Var]++
+		}
+	}
+	s.mergeDuplicates()
+
+	s.lower = append(make([]float64, 0, s.n+2*s.m), m.lower...)
+	s.upper = append(make([]float64, 0, s.n+2*s.m), m.upper...)
+	s.costP2 = make([]float64, s.n, s.n+2*s.m)
 	for v, c := range m.obj {
 		if s.maximize {
 			s.costP2[v] = -c
@@ -94,83 +113,131 @@ func newSimplex(m *Model, opts Options) *simplex {
 	}
 	// Slack columns: LE -> +slack in [0, inf); GE -> -slack in [0, inf);
 	// EQ -> none.
+	s.slackVar = make([]int32, s.m)
 	for i, r := range m.rows {
 		switch r.op {
 		case LE:
-			s.addCol(i, 1, 0, math.Inf(1), 0)
+			s.slackVar[i] = int32(s.addCol(i, 1, 0, math.Inf(1), 0))
 		case GE:
-			s.addCol(i, -1, 0, math.Inf(1), 0)
+			s.slackVar[i] = int32(s.addCol(i, -1, 0, math.Inf(1), 0))
 		case EQ:
-			// no slack
+			s.slackVar[i] = -1
 		}
+	}
+
+	// Basis-inverse representation: dense explicit inverse for tiny models,
+	// product-form eta file with sparse refactorization otherwise.
+	useDense := s.m <= denseCutoff
+	switch opts.Factorization {
+	case FactorDense:
+		useDense = true
+	case FactorSparse:
+		useDense = false
+	}
+	if useDense {
+		s.fact = &denseFactor{}
+		s.refreshEvery = 256
+	} else {
+		s.fact = &etaFactor{}
+		s.refreshEvery = 96
 	}
 	return s
 }
 
+// denseCutoff is the row count below which the dense explicit inverse wins:
+// at this size an O(m^3) refactorization is cheaper than the bookkeeping of
+// the eta file.
+const denseCutoff = 48
+
+// mergeDuplicates sums repeated row entries inside each CSC column, keeping
+// entries sorted by row.
+func (s *simplex) mergeDuplicates() {
+	write := int32(0)
+	newPtr := make([]int32, len(s.colPtr))
+	for v := 0; v < s.n; v++ {
+		a, b := s.colPtr[v], s.colPtr[v+1]
+		newPtr[v] = write
+		if b > a+1 {
+			seg := colSegment{rows: s.rowIdx[a:b], vals: s.colVal[a:b]}
+			sort.Stable(seg)
+		}
+		for k := a; k < b; k++ {
+			if write > newPtr[v] && s.rowIdx[write-1] == s.rowIdx[k] {
+				s.colVal[write-1] += s.colVal[k]
+				continue
+			}
+			s.rowIdx[write] = s.rowIdx[k]
+			s.colVal[write] = s.colVal[k]
+			write++
+		}
+	}
+	newPtr[s.n] = write
+	copy(s.colPtr, newPtr)
+	s.rowIdx = s.rowIdx[:write]
+	s.colVal = s.colVal[:write]
+}
+
+// colSegment sorts one CSC column's entries by row index.
+type colSegment struct {
+	rows []int32
+	vals []float64
+}
+
+func (c colSegment) Len() int           { return len(c.rows) }
+func (c colSegment) Less(i, j int) bool { return c.rows[i] < c.rows[j] }
+func (c colSegment) Swap(i, j int) {
+	c.rows[i], c.rows[j] = c.rows[j], c.rows[i]
+	c.vals[i], c.vals[j] = c.vals[j], c.vals[i]
+}
+
 // addCol appends a single-entry column and returns its index.
 func (s *simplex) addCol(row int, coeff, lo, hi, cost float64) int {
-	s.cols = append(s.cols, column{rows: []int32{int32(row)}, vals: []float64{coeff}})
+	s.rowIdx = append(s.rowIdx, int32(row))
+	s.colVal = append(s.colVal, coeff)
+	s.colPtr = append(s.colPtr, int32(len(s.rowIdx)))
 	s.lower = append(s.lower, lo)
 	s.upper = append(s.upper, hi)
 	s.costP2 = append(s.costP2, cost)
-	return len(s.cols) - 1
+	return s.numCols() - 1
 }
 
 // errNumerical reports unrecoverable numerical trouble.
 var errNumerical = errors.New("lp: numerical failure")
 
-func (s *simplex) solve() (*Solution, error) {
+func (s *simplex) solve(warm *Basis) (*Solution, error) {
 	// Place nonbasic variables at their finite lower bound (validated by
-	// SolveWith) and compute the residual each row needs an artificial for.
+	// SolveWith) and compute each row's residual.
 	resid := make([]float64, s.m)
-	copy(resid, s.b)
-	for v := range s.cols {
-		x := s.lower[v]
-		if x != 0 {
-			for k, r := range s.cols[v].rows {
-				resid[r] -= s.cols[v].vals[k] * x
-			}
-		}
-	}
-	// Artificial variables form the initial basis.
-	s.artStart = len(s.cols)
-	s.basis = make([]int, s.m)
-	s.xB = make([]float64, s.m)
-	s.state = make([]varState, s.artStart, s.artStart+s.m)
-	for i := 0; i < s.m; i++ {
-		coeff := 1.0
-		if resid[i] < 0 {
-			coeff = -1.0
-		}
-		v := s.addCol(i, coeff, 0, math.Inf(1), 0)
-		s.basis[i] = v
-		s.state = append(s.state, inBasis)
-		s.xB[i] = math.Abs(resid[i])
-	}
-	s.nArt = s.m
-	s.costP1 = make([]float64, len(s.cols))
-	for v := s.artStart; v < len(s.cols); v++ {
-		s.costP1[v] = 1
-	}
-	if err := s.refactorize(); err != nil {
-		return nil, err
-	}
+	s.residual(resid)
 
-	// Phase 1.
-	status, err := s.iterate(s.costP1)
-	if err != nil {
-		return nil, err
+	warmStarted := warm != nil && s.tryWarm(warm)
+	if !warmStarted {
+		s.crashBasis(resid)
+		if err := s.refactorize(); err != nil {
+			return nil, err
+		}
+		if s.nArt > 0 {
+			// Phase 1.
+			s.costP1 = make([]float64, s.numCols())
+			for v := s.artStart; v < s.numCols(); v++ {
+				s.costP1[v] = 1
+			}
+			status, err := s.iterate(s.costP1)
+			if err != nil {
+				return nil, err
+			}
+			if status == StatusIterLimit {
+				return &Solution{Status: StatusIterLimit, Iters: s.iters}, nil
+			}
+			if s.phase1Objective() > s.opts.Tol*float64(1+s.m) {
+				return &Solution{Status: StatusInfeasible, Iters: s.iters}, nil
+			}
+			s.lockArtificials()
+		}
 	}
-	if status == StatusIterLimit {
-		return &Solution{Status: StatusIterLimit, Iters: s.iters}, nil
-	}
-	if s.phase1Objective() > s.opts.Tol*float64(1+s.m) {
-		return &Solution{Status: StatusInfeasible, Iters: s.iters}, nil
-	}
-	s.lockArtificials()
 
 	// Phase 2.
-	status, err = s.iterate(s.costP2)
+	status, err := s.iterate(s.costP2)
 	if err != nil {
 		return nil, err
 	}
@@ -188,24 +255,285 @@ func (s *simplex) solve() (*Solution, error) {
 	}
 	if status == StatusOptimal {
 		sol.Duals = s.duals()
+		sol.Basis = s.exportBasis()
 	}
 	return sol, nil
+}
+
+// residual fills resid with b - N x_N for all nonbasic variables at their
+// lower bound (the pre-crash state).
+func (s *simplex) residual(resid []float64) {
+	copy(resid, s.b)
+	for v := 0; v < s.numCols(); v++ {
+		x := s.lower[v]
+		if x == 0 {
+			continue
+		}
+		rows, vals := s.col(v)
+		for k, r := range rows {
+			resid[r] -= vals[k] * x
+		}
+	}
+}
+
+// crashBasis builds the initial basis: each row's slack when the residual
+// sign allows it to sit feasibly in the basis, an artificial otherwise. EQ
+// rows (no slack) always get an artificial. Fewer artificials mean phase 1
+// starts closer to feasibility — for all-LE models with nonnegative
+// residuals it is skipped entirely.
+func (s *simplex) crashBasis(resid []float64) {
+	s.artStart = s.numCols()
+	s.basis = make([]int, s.m)
+	s.xB = make([]float64, s.m)
+	s.state = make([]varState, s.artStart, s.artStart+s.m)
+	s.nArt = 0
+	for i := 0; i < s.m; i++ {
+		if sv := s.slackVar[i]; sv >= 0 {
+			// Slack value at this basis: +resid (LE) or -resid (GE); its
+			// coefficient is ±1, so value = resid / coeff.
+			_, vals := s.col(int(sv))
+			val := resid[i] / vals[0]
+			if val >= 0 {
+				s.basis[i] = int(sv)
+				s.state[sv] = inBasis
+				s.xB[i] = val
+				continue
+			}
+		}
+		coeff := 1.0
+		if resid[i] < 0 {
+			coeff = -1.0
+		}
+		v := s.addCol(i, coeff, 0, math.Inf(1), 0)
+		s.state = append(s.state, inBasis)
+		s.basis[i] = v
+		s.xB[i] = math.Abs(resid[i])
+		s.nArt++
+	}
+}
+
+// tryWarm attempts to start from a previously exported basis: it must have
+// the right size, reference only structural/slack variables, and yield a
+// primal-feasible, nonsingular starting point. On any failure the simplex is
+// left ready for the cold-start path and false is returned.
+func (s *simplex) tryWarm(warm *Basis) bool {
+	if len(warm.vars) != s.m {
+		return false
+	}
+	nCols := s.numCols()
+	s.artStart = nCols
+	s.nArt = 0
+	s.state = make([]varState, nCols)
+	seen := make([]bool, nCols)
+	for _, v := range warm.vars {
+		if v < 0 || int(v) >= nCols || seen[v] {
+			return false
+		}
+		seen[v] = true
+		s.state[v] = inBasis
+	}
+	for _, v := range warm.upper {
+		if v < 0 || int(v) >= nCols || s.state[v] == inBasis || math.IsInf(s.upper[v], 1) {
+			return false
+		}
+		s.state[v] = atUpper
+	}
+	s.basis = make([]int, s.m)
+	for i, v := range warm.vars {
+		s.basis[i] = int(v)
+	}
+	s.xB = make([]float64, s.m)
+	if err := s.refactorize(); err != nil {
+		// Singular warm basis: reset for the crash path.
+		s.state = nil
+		return false
+	}
+	tol := s.opts.Tol * 10
+	feasible := true
+	for i, v := range s.basis {
+		if s.xB[i] < s.lower[v]-tol || s.xB[i] > s.upper[v]+tol {
+			feasible = false
+			break
+		}
+	}
+	if feasible {
+		return true
+	}
+	// Bound changes since the basis was exported (branch & bound tightens
+	// one variable per node) leave it dual-feasible but primal-infeasible:
+	// exactly the case dual simplex repairs in a handful of pivots.
+	if s.dualRepair() {
+		return true
+	}
+	s.state = nil
+	return false
+}
+
+// dualRepair restores primal feasibility of a structurally valid warm basis
+// by bounded-variable dual simplex: pick the most-violated basic variable,
+// drive it to its violated bound, and choose the entering column by the
+// dual ratio test so reduced costs keep their signs. Returns false when it
+// cannot finish (no entering column — possibly primal-infeasible — or
+// numerical trouble); the caller then falls back to the cold start, which
+// settles feasibility authoritatively.
+func (s *simplex) dualRepair() bool {
+	const pivTol = 1e-9
+	tol := s.opts.Tol
+	cb := make([]float64, s.m)
+	y := make([]float64, s.m)
+	rho := make([]float64, s.m)
+	unit := make([]float64, s.m)
+	alpha := make([]float64, s.m)
+	sinceRefresh := 0
+	maxIter := 2*s.m + 100
+	for iter := 0; iter < maxIter; iter++ {
+		// Leaving row: the most violated basic bound.
+		r := -1
+		worst := tol * 10
+		below := false
+		for i, v := range s.basis {
+			if d := s.lower[v] - s.xB[i]; d > worst {
+				worst, r, below = d, i, true
+			}
+			if d := s.xB[i] - s.upper[v]; d > worst {
+				worst, r, below = d, i, false
+			}
+		}
+		if r < 0 {
+			return true
+		}
+		s.iters++
+		// Duals and row r of B⁻¹.
+		for i, v := range s.basis {
+			cb[i] = s.costP2[v]
+		}
+		s.fact.btran(s, cb, y)
+		for i := range unit {
+			unit[i] = 0
+		}
+		unit[r] = 1
+		s.fact.btran(s, unit, rho)
+		// Dual ratio test: among nonbasic columns able to move x_B[r] toward
+		// its bound, take the one whose reduced cost gives way first.
+		entering := -1
+		best := math.Inf(1)
+		for v := 0; v < s.numCols(); v++ {
+			if s.state[v] == inBasis || s.lower[v] == s.upper[v] {
+				continue
+			}
+			rows, vals := s.col(v)
+			var w float64
+			for k, rr := range rows {
+				w += rho[rr] * vals[k]
+			}
+			var ok bool
+			if below { // x_B[r] must increase
+				ok = (s.state[v] == atLower && w < -pivTol) || (s.state[v] == atUpper && w > pivTol)
+			} else { // x_B[r] must decrease
+				ok = (s.state[v] == atLower && w > pivTol) || (s.state[v] == atUpper && w < -pivTol)
+			}
+			if !ok {
+				continue
+			}
+			d := s.costP2[v]
+			for k, rr := range rows {
+				d -= y[rr] * vals[k]
+			}
+			ratio := math.Abs(d) / math.Abs(w)
+			if ratio < best-1e-12 || (ratio < best+1e-12 && (entering < 0 || v < entering)) {
+				best, entering = ratio, v
+			}
+		}
+		if entering < 0 {
+			return false
+		}
+		leavingVar := s.basis[r]
+		target := s.upper[leavingVar]
+		if below {
+			target = s.lower[leavingVar]
+		}
+		delta := s.xB[r] - target
+		s.fact.ftran(s, entering, alpha)
+		if math.Abs(alpha[r]) < pivTol {
+			// rho-based row entry disagreed with the recomputed column:
+			// refactorize and retry the iteration.
+			if s.refactorize() != nil {
+				return false
+			}
+			continue
+		}
+		step := delta / alpha[r]
+		rest := s.lower[entering]
+		if s.state[entering] == atUpper {
+			rest = s.upper[entering]
+		}
+		if err := s.fact.update(s, r, alpha); err != nil {
+			if s.refactorize() != nil {
+				return false
+			}
+			continue
+		}
+		for i := 0; i < s.m; i++ {
+			if i != r {
+				s.xB[i] -= alpha[i] * step
+			}
+		}
+		s.xB[r] = rest + step
+		s.basis[r] = entering
+		s.state[entering] = inBasis
+		if below {
+			s.state[leavingVar] = atLower
+		} else {
+			s.state[leavingVar] = atUpper
+		}
+		sinceRefresh++
+		if sinceRefresh >= s.refreshEvery {
+			if s.refactorize() != nil {
+				return false
+			}
+			sinceRefresh = 0
+		}
+	}
+	return false
+}
+
+// exportBasis snapshots the final basis for warm-starting a related solve.
+// Bases that still contain artificial variables are not exportable.
+func (s *simplex) exportBasis() *Basis {
+	bs := &Basis{vars: make([]int32, s.m)}
+	for i, v := range s.basis {
+		if v >= s.artStart {
+			return nil
+		}
+		bs.vars[i] = int32(v)
+	}
+	for v := 0; v < s.artStart; v++ {
+		if s.state[v] == atUpper {
+			bs.upper = append(bs.upper, int32(v))
+		}
+	}
+	return bs
+}
+
+// refactorize rebuilds the basis-inverse representation from s.basis and
+// recomputes the basic values.
+func (s *simplex) refactorize() error {
+	if err := s.fact.refactorize(s); err != nil {
+		return err
+	}
+	s.recomputeXB()
+	return nil
 }
 
 // duals computes y = c_B B⁻¹ under the phase-2 costs, converted back to the
 // model's sense.
 func (s *simplex) duals() []float64 {
-	y := make([]float64, s.m)
+	cb := make([]float64, s.m)
 	for i, v := range s.basis {
-		cb := s.costP2[v]
-		if cb == 0 {
-			continue
-		}
-		row := s.binv[i]
-		for j := 0; j < s.m; j++ {
-			y[j] += cb * row[j]
-		}
+		cb[i] = s.costP2[v]
 	}
+	y := make([]float64, s.m)
+	s.fact.btran(s, cb, y)
 	if s.maximize {
 		for j := range y {
 			y[j] = -y[j]
@@ -221,7 +549,7 @@ func (s *simplex) phase1Objective() float64 {
 			sum += s.xB[i]
 		}
 	}
-	for v := s.artStart; v < len(s.cols); v++ {
+	for v := s.artStart; v < s.numCols(); v++ {
 		if s.state[v] == atUpper {
 			// Artificials have infinite upper bound, so this cannot happen;
 			// guarded for safety.
@@ -235,23 +563,41 @@ func (s *simplex) phase1Objective() float64 {
 // them. Artificials still basic (at value ~0) are pivoted out when possible;
 // a row whose artificial cannot leave is linearly dependent and harmless.
 func (s *simplex) lockArtificials() {
-	for v := s.artStart; v < len(s.cols); v++ {
+	for v := s.artStart; v < s.numCols(); v++ {
 		s.upper[v] = 0
 	}
+	alpha := make([]float64, s.m)
+	row := make([]float64, s.m)
 	pivoted := false
 	for i := 0; i < s.m; i++ {
 		if s.basis[i] < s.artStart {
 			continue
 		}
-		// Try to pivot the artificial out of basis position i.
+		// Row i of B⁻¹, computed once: candidate directions' i-th entries are
+		// then sparse dot products.
+		for j := range row {
+			row[j] = 0
+		}
+		row[i] = 1
+		s.fact.btran(s, row, alpha)
+		copy(row, alpha)
 		art := s.basis[i]
 		for v := 0; v < s.artStart; v++ {
 			if s.state[v] == inBasis {
 				continue
 			}
-			alpha := s.ftranRow(i, v)
-			if math.Abs(alpha) > 1e-7 {
-				s.pivot(v, i, alpha)
+			rows, vals := s.col(v)
+			var entry float64
+			for k, r := range rows {
+				entry += row[r] * vals[k]
+			}
+			if math.Abs(entry) > 1e-7 {
+				s.fact.ftran(s, v, alpha)
+				if err := s.fact.update(s, i, alpha); err != nil {
+					continue
+				}
+				s.basis[i] = v
+				s.state[v] = inBasis
 				s.state[art] = atLower
 				pivoted = true
 				break
@@ -263,33 +609,9 @@ func (s *simplex) lockArtificials() {
 	}
 }
 
-// ftranRow returns (B⁻¹ A_v)[i] without materializing the full direction.
-func (s *simplex) ftranRow(i, v int) float64 {
-	var sum float64
-	col := &s.cols[v]
-	for k, r := range col.rows {
-		sum += s.binv[i][r] * col.vals[k]
-	}
-	return sum
-}
-
-// ftran computes α = B⁻¹ A_v.
-func (s *simplex) ftran(v int, alpha []float64) {
-	for i := range alpha {
-		alpha[i] = 0
-	}
-	col := &s.cols[v]
-	for k, r := range col.rows {
-		c := col.vals[k]
-		row := int(r)
-		for i := 0; i < s.m; i++ {
-			alpha[i] += s.binv[i][row] * c
-		}
-	}
-}
-
 // iterate runs primal simplex on the given cost vector until optimal.
 func (s *simplex) iterate(cost []float64) (Status, error) {
+	cb := make([]float64, s.m)
 	y := make([]float64, s.m)
 	alpha := make([]float64, s.m)
 	sinceRefresh := 0
@@ -300,31 +622,22 @@ func (s *simplex) iterate(cost []float64) (Status, error) {
 	for iter := 0; iter < s.opts.MaxIters; iter++ {
 		s.iters++
 		// Duals: y = c_B B⁻¹.
-		for j := 0; j < s.m; j++ {
-			y[j] = 0
-		}
 		for i, v := range s.basis {
-			cb := cost[v]
-			if cb == 0 {
-				continue
-			}
-			row := s.binv[i]
-			for j := 0; j < s.m; j++ {
-				y[j] += cb * row[j]
-			}
+			cb[i] = cost[v]
 		}
-		// Pricing.
+		s.fact.btran(s, cb, y)
+		// Pricing: reduced costs touch only each column's nonzeros.
 		entering := -1
 		var bestScore float64
 		enterDir := 1.0
-		for v := range s.cols {
+		for v := 0; v < s.numCols(); v++ {
 			if s.state[v] == inBasis || s.lower[v] == s.upper[v] {
 				continue
 			}
 			d := cost[v]
-			col := &s.cols[v]
-			for k, r := range col.rows {
-				d -= y[r] * col.vals[k]
+			rows, vals := s.col(v)
+			for k, r := range rows {
+				d -= y[r] * vals[k]
 			}
 			var score float64
 			var dir float64
@@ -347,7 +660,7 @@ func (s *simplex) iterate(cost []float64) (Status, error) {
 			return StatusOptimal, nil
 		}
 
-		s.ftran(entering, alpha)
+		s.fact.ftran(s, entering, alpha)
 		// Ratio test: the entering variable moves by enterDir * t, t >= 0;
 		// basic variable i moves by -enterDir * alpha[i] * t.
 		tMax := s.upper[entering] - s.lower[entering] // bound-flip distance
@@ -404,7 +717,14 @@ func (s *simplex) iterate(cost []float64) (Status, error) {
 			}
 			enterVal += enterDir * tMax
 			leavingVar := s.basis[leaving]
-			s.pivot(entering, leaving, alpha[leaving])
+			if err := s.fact.update(s, leaving, alpha); err != nil {
+				if err := s.refactorize(); err != nil {
+					return 0, err
+				}
+				continue
+			}
+			s.basis[leaving] = entering
+			s.state[entering] = inBasis
 			if leavingToUpper {
 				s.state[leavingVar] = atUpper
 			} else {
@@ -440,116 +760,11 @@ func (s *simplex) iterate(cost []float64) (Status, error) {
 	return StatusIterLimit, nil
 }
 
-// pivot brings entering into basis position p (alphaP = (B⁻¹A_entering)[p]).
-// The caller is responsible for setting the leaving variable's bound state
-// and the new basic value xB[p].
-func (s *simplex) pivot(entering, p int, alphaP float64) {
-	s.basis[p] = entering
-	s.state[entering] = inBasis
-
-	// Update B⁻¹ by Gauss-Jordan on the entering direction. We recompute the
-	// direction's entries against the pre-pivot inverse row by row.
-	alpha := make([]float64, s.m)
-	s.ftranInto(entering, alpha)
-	pr := s.binv[p]
-	inv := 1 / alphaP
-	for j := 0; j < s.m; j++ {
-		pr[j] *= inv
-	}
-	for i := 0; i < s.m; i++ {
-		if i == p {
-			continue
-		}
-		f := alpha[i]
-		if f == 0 {
-			continue
-		}
-		ri := s.binv[i]
-		for j := 0; j < s.m; j++ {
-			ri[j] -= f * pr[j]
-		}
-	}
-}
-
-// ftranInto is ftran against the current inverse (helper for pivot, which
-// needs the direction before modifying binv).
-func (s *simplex) ftranInto(v int, alpha []float64) {
-	col := &s.cols[v]
-	for i := 0; i < s.m; i++ {
-		var sum float64
-		row := s.binv[i]
-		for k, r := range col.rows {
-			sum += row[r] * col.vals[k]
-		}
-		alpha[i] = sum
-	}
-}
-
-// refactorize rebuilds B⁻¹ from the basis columns by Gauss-Jordan with
-// partial pivoting and recomputes basic values.
-func (s *simplex) refactorize() error {
-	m := s.m
-	// Build the dense basis matrix.
-	bmat := make([][]float64, m)
-	for i := range bmat {
-		bmat[i] = make([]float64, 2*m)
-	}
-	for pos, v := range s.basis {
-		col := &s.cols[v]
-		for k, r := range col.rows {
-			bmat[r][pos] = col.vals[k]
-		}
-	}
-	for i := 0; i < m; i++ {
-		bmat[i][m+i] = 1
-	}
-	for c := 0; c < m; c++ {
-		// Partial pivot.
-		p := c
-		for r := c + 1; r < m; r++ {
-			if math.Abs(bmat[r][c]) > math.Abs(bmat[p][c]) {
-				p = r
-			}
-		}
-		if math.Abs(bmat[p][c]) < 1e-12 {
-			return fmt.Errorf("%w: singular basis at column %d", errNumerical, c)
-		}
-		bmat[c], bmat[p] = bmat[p], bmat[c]
-		inv := 1 / bmat[c][c]
-		for j := c; j < 2*m; j++ {
-			bmat[c][j] *= inv
-		}
-		for r := 0; r < m; r++ {
-			if r == c {
-				continue
-			}
-			f := bmat[r][c]
-			if f == 0 {
-				continue
-			}
-			for j := c; j < 2*m; j++ {
-				bmat[r][j] -= f * bmat[c][j]
-			}
-		}
-	}
-	if s.binv == nil {
-		s.binv = make([][]float64, m)
-		for i := range s.binv {
-			s.binv[i] = make([]float64, m)
-		}
-	}
-	for i := 0; i < m; i++ {
-		copy(s.binv[i], bmat[i][m:])
-	}
-	s.recomputeXB()
-	return nil
-}
-
 // recomputeXB recomputes basic values from nonbasic bounds: x_B = B⁻¹ (b − N x_N).
 func (s *simplex) recomputeXB() {
 	resid := make([]float64, s.m)
 	copy(resid, s.b)
-	for v := range s.cols {
+	for v := 0; v < s.numCols(); v++ {
 		if s.state[v] == inBasis {
 			continue
 		}
@@ -560,19 +775,13 @@ func (s *simplex) recomputeXB() {
 		if x == 0 {
 			continue
 		}
-		col := &s.cols[v]
-		for k, r := range col.rows {
-			resid[r] -= col.vals[k] * x
+		rows, vals := s.col(v)
+		for k, r := range rows {
+			resid[r] -= vals[k] * x
 		}
 	}
-	for i := 0; i < s.m; i++ {
-		var sum float64
-		row := s.binv[i]
-		for j := 0; j < s.m; j++ {
-			sum += row[j] * resid[j]
-		}
-		s.xB[i] = sum
-	}
+	s.fact.applyInv(s, resid)
+	copy(s.xB, resid)
 }
 
 // extractX returns structural variable values.

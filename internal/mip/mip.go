@@ -1,14 +1,21 @@
 // Package mip solves mixed-integer linear programs by LP-based branch &
-// bound: depth-first diving with most-fractional branching, LP bound
-// pruning, a root rounding heuristic, and wall-clock/node budgets. Together
-// with package lp it forms the reproduction's stand-in for the GUROBI solver
-// the paper uses for the Optimal comparator.
+// bound: best-first bulk-synchronous search with most-fractional branching,
+// LP bound pruning, a root rounding heuristic, warm-started node
+// relaxations, and wall-clock/node budgets. Each round expands the K best
+// open nodes — in parallel across Options.Workers goroutines — and merges
+// the results in a fixed order, so the outcome is identical for any worker
+// count given the same node budget. Together with package lp it forms the
+// reproduction's stand-in for the GUROBI solver the paper uses for the
+// Optimal comparator.
 package mip
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"pmedic/internal/lp"
@@ -122,12 +129,20 @@ type Result struct {
 
 // Options tunes the search; the zero value selects defaults.
 type Options struct {
-	// TimeLimit bounds wall-clock time (default: none).
+	// TimeLimit bounds wall-clock time, checked between frontier rounds
+	// (default: none). It is the one nondeterministic stop: under a pure
+	// node budget the search result is independent of wall-clock speed.
 	TimeLimit time.Duration
 	// MaxNodes bounds explored nodes (default 1 000 000).
 	MaxNodes int
 	// IntTol is the integrality tolerance (default 1e-6).
 	IntTol float64
+	// Workers sets how many goroutines expand frontier nodes concurrently
+	// (default 1). The frontier width and all selection/merge decisions are
+	// independent of Workers, so the result — incumbent, objective, bound,
+	// node count, status — is identical for any worker count given the same
+	// node budget.
+	Workers int
 	// Incumbent optionally warm-starts the search with a known point. It is
 	// validated against bounds, integrality, and rows; an infeasible warm
 	// start is silently ignored.
@@ -135,6 +150,7 @@ type Options struct {
 	// Heuristic, when set, is called on relaxation points (at the root and
 	// periodically during the search) to propose integer-feasible candidates.
 	// A nil return means no proposal; proposals are validated like Incumbent.
+	// It is always invoked from the merging goroutine, never concurrently.
 	Heuristic func(relaxation []float64) []float64
 	// LP tunes the relaxation solver.
 	LP lp.Options
@@ -147,11 +163,19 @@ func (o Options) withDefaults() Options {
 	if o.IntTol == 0 {
 		o.IntTol = 1e-6
 	}
+	if o.Workers == 0 {
+		o.Workers = 1
+	}
 	return o
 }
 
 // ErrModel reports a malformed model.
 var ErrModel = errors.New("mip: invalid model")
+
+// frontierWidth is how many open nodes each bulk-synchronous round expands.
+// It is a constant — deliberately not tied to Options.Workers — so that the
+// search trajectory is the same no matter how many workers expand it.
+const frontierWidth = 8
 
 type node struct {
 	// fixes are (variable, lower, upper) bound overrides accumulated along
@@ -159,11 +183,24 @@ type node struct {
 	fixes []fix
 	bound float64 // parent LP bound (optimistic for this node)
 	depth int
+	seq   int64     // creation order; deterministic tie-break
+	warm  *lp.Basis // parent's final basis, warm-starts this node's LP
 }
 
 type fix struct {
 	v      int
 	lo, hi float64
+}
+
+// expansion is the outcome of solving one frontier node's relaxation on a
+// worker. Merging back into the search state happens sequentially.
+type expansion struct {
+	err       error
+	status    lp.Status
+	obj       float64
+	x         []float64
+	basis     *lp.Basis
+	branchVar int // -1 when the relaxation point is integer feasible
 }
 
 // Solve runs branch & bound.
@@ -174,7 +211,6 @@ func (m *Model) Solve(opts Options) (*Result, error) {
 	if nv == 0 {
 		return nil, fmt.Errorf("%w: no variables", ErrModel)
 	}
-	// Save original bounds to restore around node solves.
 	origLo := make([]float64, nv)
 	origHi := make([]float64, nv)
 	for v := 0; v < nv; v++ {
@@ -184,13 +220,6 @@ func (m *Model) Solve(opts Options) (*Result, error) {
 		}
 		origLo[v], origHi[v] = lo, hi
 	}
-	restore := func() {
-		for v := 0; v < nv; v++ {
-			// Original bounds are valid by construction.
-			_ = m.lpm.SetBounds(v, origLo[v], origHi[v])
-		}
-	}
-	defer restore()
 
 	res := &Result{Status: StatusUnknown}
 	better := func(a, b float64) bool { // is a better than b in model sense
@@ -211,129 +240,160 @@ func (m *Model) Solve(opts Options) (*Result, error) {
 		}
 	}
 
-	expired := func() bool {
-		return (opts.TimeLimit > 0 && time.Since(start) > opts.TimeLimit) ||
-			res.Nodes >= opts.MaxNodes
-	}
-
 	if len(opts.Incumbent) == nv {
 		if obj, ok := m.checkPoint(opts.Incumbent, origLo, origHi, opts.IntTol); ok {
 			accept(opts.Incumbent, obj)
 		}
 	}
 
-	// DFS stack.
-	stack := []*node{{bound: infFor(m.sense)}}
+	// Worker-local model clones: bounds are per-clone, structure is shared.
+	clones := make([]*lp.Model, opts.Workers)
+	for w := range clones {
+		clones[w] = m.lpm.Clone()
+	}
+
+	open := []*node{{bound: infFor(m.sense)}}
+	var nextSeq int64 = 1
 	var rootBound float64
 	rootBoundSet := false
 	limitHit := false
 
-	for len(stack) > 0 {
-		if expired() {
+	for len(open) > 0 {
+		if opts.TimeLimit > 0 && time.Since(start) > opts.TimeLimit {
 			limitHit = true
 			break
 		}
-		nd := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		// Bound pruning against the incumbent.
-		if incumbent != nil && !better(nd.bound, incumbentObj) {
-			continue
-		}
-		res.Nodes++
-
-		// Apply node bounds.
-		for v := 0; v < nv; v++ {
-			_ = m.lpm.SetBounds(v, origLo[v], origHi[v])
-		}
-		infeasibleFix := false
-		for _, f := range nd.fixes {
-			if f.lo > f.hi {
-				infeasibleFix = true
-				break
+		// Drop nodes the incumbent already dominates (not counted, same as a
+		// pop-and-prune in a serial search).
+		if incumbent != nil {
+			kept := open[:0]
+			for _, nd := range open {
+				if better(nd.bound, incumbentObj) {
+					kept = append(kept, nd)
+				}
 			}
-			if err := m.lpm.SetBounds(f.v, f.lo, f.hi); err != nil {
-				infeasibleFix = true
+			open = kept
+			if len(open) == 0 {
 				break
 			}
 		}
-		if infeasibleFix {
-			continue
+		width := frontierWidth
+		if rem := opts.MaxNodes - res.Nodes; width > rem {
+			width = rem
 		}
-		sol, err := m.lpm.SolveWith(opts.LP)
-		if err != nil {
-			return nil, fmt.Errorf("mip: node %d relaxation: %w", res.Nodes, err)
+		if width <= 0 {
+			limitHit = true
+			break
 		}
-		switch sol.Status {
-		case lp.StatusInfeasible:
-			continue
-		case lp.StatusUnbounded:
-			if nd.depth == 0 {
-				res.Status = StatusUnbounded
-				res.Runtime = time.Since(start)
-				return res, nil
+		if width > len(open) {
+			width = len(open)
+		}
+		// Best-first selection: strongest bound first, creation order on ties.
+		sort.Slice(open, func(a, b int) bool {
+			if open[a].bound != open[b].bound {
+				return better(open[a].bound, open[b].bound)
 			}
-			continue
-		case lp.StatusIterLimit:
-			// Treat as unexplorable; keep going without its bound.
-			continue
-		}
-		if !rootBoundSet {
-			rootBound, rootBoundSet = sol.Objective, true
-		}
-		if incumbent != nil && !better(sol.Objective, incumbentObj) {
-			continue
-		}
+			return open[a].seq < open[b].seq
+		})
+		selected := open[:width]
+		open = append([]*node(nil), open[width:]...)
 
-		// Find the most fractional integer variable.
-		branchVar := -1
-		worst := opts.IntTol
-		for v := 0; v < nv; v++ {
-			if !m.integer[v] {
+		// Expand the selected nodes in parallel; results land in a slice
+		// indexed by selection order, so scheduling cannot reorder them.
+		results := make([]expansion, len(selected))
+		var wg sync.WaitGroup
+		var next atomic.Int64
+		for w := 0; w < opts.Workers && w < len(selected); w++ {
+			wg.Add(1)
+			go func(clone *lp.Model) {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(selected) {
+						return
+					}
+					results[i] = m.expandNode(clone, selected[i], origLo, origHi, opts)
+				}
+			}(clones[w])
+		}
+		wg.Wait()
+
+		// Merge sequentially in selection order: counting, incumbent updates,
+		// heuristics, and child creation are all deterministic.
+		for i, nd := range selected {
+			ex := results[i]
+			if ex.err != nil {
+				return nil, fmt.Errorf("mip: node %d relaxation: %w", res.Nodes+1, ex.err)
+			}
+			// Re-check the bound: an earlier merge this round may have raised
+			// the incumbent past this node.
+			if incumbent != nil && !better(nd.bound, incumbentObj) {
 				continue
 			}
-			frac := math.Abs(sol.X[v] - math.Round(sol.X[v]))
-			if frac > worst {
-				worst = frac
-				branchVar = v
+			res.Nodes++
+			switch ex.status {
+			case lp.StatusInfeasible:
+				continue
+			case lp.StatusUnbounded:
+				if nd.depth == 0 {
+					res.Status = StatusUnbounded
+					res.Runtime = time.Since(start)
+					return res, nil
+				}
+				continue
+			case lp.StatusIterLimit:
+				// Treat as unexplorable; keep going without its bound.
+				continue
 			}
-		}
-		if branchVar < 0 {
-			// Integer feasible.
-			accept(sol.X, sol.Objective)
-			continue
-		}
-		if nd.depth == 0 || res.Nodes%64 == 0 {
-			// Rounding + caller-supplied repair heuristics: cheap incumbents
-			// to enable pruning.
-			if x, obj, ok := m.roundHeuristic(sol.X, origLo, origHi, opts.IntTol); ok {
-				accept(x, obj)
+			if !rootBoundSet {
+				rootBound, rootBoundSet = ex.obj, true
 			}
-			if opts.Heuristic != nil {
-				if cand := opts.Heuristic(sol.X); len(cand) == nv {
-					if obj, ok := m.checkPoint(cand, origLo, origHi, opts.IntTol); ok {
-						accept(cand, obj)
+			if incumbent != nil && !better(ex.obj, incumbentObj) {
+				continue
+			}
+			if ex.branchVar < 0 {
+				// Integer feasible.
+				accept(ex.x, ex.obj)
+				continue
+			}
+			if nd.depth == 0 || res.Nodes%64 == 0 {
+				// Rounding + caller-supplied repair heuristics: cheap incumbents
+				// to enable pruning.
+				if x, obj, ok := m.roundHeuristic(ex.x, origLo, origHi, opts.IntTol); ok {
+					accept(x, obj)
+				}
+				if opts.Heuristic != nil {
+					if cand := opts.Heuristic(ex.x); len(cand) == nv {
+						if obj, ok := m.checkPoint(cand, origLo, origHi, opts.IntTol); ok {
+							accept(cand, obj)
+						}
 					}
 				}
 			}
-		}
 
-		floorV := math.Floor(sol.X[branchVar])
-		lo, hi, _ := m.lpm.Bounds(branchVar)
-		down := &node{
-			fixes: appendFix(nd.fixes, fix{branchVar, lo, floorV}),
-			bound: sol.Objective,
-			depth: nd.depth + 1,
-		}
-		up := &node{
-			fixes: appendFix(nd.fixes, fix{branchVar, floorV + 1, hi}),
-			bound: sol.Objective,
-			depth: nd.depth + 1,
-		}
-		// Dive toward the nearer integer first (pushed last = popped first).
-		if sol.X[branchVar]-floorV < 0.5 {
-			stack = append(stack, up, down)
-		} else {
-			stack = append(stack, down, up)
+			bv := ex.branchVar
+			floorV := math.Floor(ex.x[bv])
+			down := &node{
+				fixes: appendFix(nd.fixes, fix{bv, origLo[bv], floorV}),
+				bound: ex.obj,
+				depth: nd.depth + 1,
+				warm:  ex.basis,
+			}
+			up := &node{
+				fixes: appendFix(nd.fixes, fix{bv, floorV + 1, origHi[bv]}),
+				bound: ex.obj,
+				depth: nd.depth + 1,
+				warm:  ex.basis,
+			}
+			// Sequence the nearer-integer child first so bound ties resolve
+			// toward the dive the serial search would have taken.
+			if ex.x[bv]-floorV < 0.5 {
+				down.seq, up.seq = nextSeq, nextSeq+1
+			} else {
+				up.seq, down.seq = nextSeq, nextSeq+1
+			}
+			nextSeq += 2
+			open = append(open, down, up)
 		}
 	}
 
@@ -345,7 +405,7 @@ func (m *Model) Solve(opts Options) (*Result, error) {
 			res.Status = StatusFeasible
 			// The open-node bound: the best bound among unexplored nodes and
 			// the incumbent.
-			res.Bound = bestOpenBound(stack, incumbentObj, m.sense)
+			res.Bound = bestOpenBound(open, incumbentObj, m.sense)
 			if rootBoundSet && better(res.Bound, rootBound) {
 				res.Bound = rootBound
 			}
@@ -367,6 +427,47 @@ func (m *Model) Solve(opts Options) (*Result, error) {
 		res.Bound = rootBound
 	}
 	return res, nil
+}
+
+// expandNode solves one node's relaxation on a worker-local clone: reset
+// bounds, apply the node's fixes, warm-start from the parent basis, and
+// locate the most fractional integer variable.
+func (m *Model) expandNode(clone *lp.Model, nd *node, origLo, origHi []float64, opts Options) expansion {
+	nv := len(origLo)
+	for v := 0; v < nv; v++ {
+		// Original bounds are valid by construction.
+		_ = clone.SetBounds(v, origLo[v], origHi[v])
+	}
+	for _, f := range nd.fixes {
+		if f.lo > f.hi || clone.SetBounds(f.v, f.lo, f.hi) != nil {
+			return expansion{status: lp.StatusInfeasible}
+		}
+	}
+	lpOpts := opts.LP
+	lpOpts.Warm = nd.warm
+	sol, err := clone.SolveWith(lpOpts)
+	if err != nil {
+		return expansion{err: err}
+	}
+	ex := expansion{status: sol.Status, branchVar: -1}
+	if sol.Status != lp.StatusOptimal {
+		return ex
+	}
+	ex.obj = sol.Objective
+	ex.x = sol.X
+	ex.basis = sol.Basis
+	worst := opts.IntTol
+	for v := 0; v < nv; v++ {
+		if !m.integer[v] {
+			continue
+		}
+		frac := math.Abs(sol.X[v] - math.Round(sol.X[v]))
+		if frac > worst {
+			worst = frac
+			ex.branchVar = v
+		}
+	}
+	return ex
 }
 
 func infFor(s lp.Sense) float64 {

@@ -42,6 +42,10 @@ type Options struct {
 	// used only if it is feasible for the model, i.e. recovers every flow
 	// and respects the delay budget).
 	Warm *core.Solution
+	// Workers sets how many goroutines expand branch & bound nodes
+	// concurrently (default 1). The search result is identical for any
+	// worker count given the same node budget.
+	Workers int
 	// RequireProved makes Solve return ErrNoSolution unless optimality was
 	// proved (tree exhausted); by default a budget-expired incumbent is
 	// returned, matching how a time-limited GUROBI run is reported.
@@ -80,6 +84,7 @@ func Solve(p *core.Problem, opts Options) (*core.Solution, error) {
 	mipOpts := mip.Options{
 		TimeLimit: opts.TimeLimit,
 		MaxNodes:  opts.MaxNodes,
+		Workers:   opts.Workers,
 		Heuristic: md.repair,
 	}
 	if opts.Warm != nil {
@@ -283,11 +288,17 @@ type Sensitivity struct {
 // Sensitivities solves the LP relaxation of the compact model and returns
 // the capacity and budget shadow prices.
 func Sensitivities(p *core.Problem) (*Sensitivity, error) {
+	return SensitivitiesWith(p, lp.Options{})
+}
+
+// SensitivitiesWith is Sensitivities with explicit LP solver options; the
+// scale benchmarks use it to force a factorization choice.
+func SensitivitiesWith(p *core.Problem, lpOpts lp.Options) (*Sensitivity, error) {
 	md, err := build(p)
 	if err != nil {
 		return nil, err
 	}
-	sol, err := md.m.SolveRelaxation(lp.Options{})
+	sol, err := md.m.SolveRelaxation(lpOpts)
 	if err != nil {
 		return nil, fmt.Errorf("opt: relaxation: %w", err)
 	}

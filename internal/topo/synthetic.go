@@ -1,0 +1,59 @@
+package topo
+
+import "fmt"
+
+// Synthetic builds a deterministic n-node deployment for scale tests and
+// benchmarks: nodes on a ⌈√n⌉-wide geographic grid (so link delays vary but
+// are reproducible), grid edges plus periodic chords to keep the diameter
+// small, and m controllers placed by AutoDeployment with the given capacity.
+// The same (n, m, capacity) always yields the same deployment — no
+// randomness is involved.
+func Synthetic(n, m, capacity int) (*Deployment, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topo: synthetic: need at least 2 nodes, got %d", n)
+	}
+	g := &Graph{}
+	side := 1
+	for side*side < n {
+		side++
+	}
+	for i := 0; i < n; i++ {
+		row, col := i/side, i%side
+		lat := 30 + 0.8*float64(row) + 0.13*float64(col%3)
+		lon := -120 + 0.9*float64(col) + 0.11*float64(row%2)
+		g.AddNode(fmt.Sprintf("n%d", i), lat, lon)
+	}
+	addEdge := func(a, b int) error {
+		if a == b || b >= n {
+			return nil
+		}
+		if g.HasEdge(NodeID(a), NodeID(b)) {
+			return nil
+		}
+		return g.AddEdge(NodeID(a), NodeID(b))
+	}
+	for i := 0; i < n; i++ {
+		row, col := i/side, i%side
+		if col+1 < side {
+			if err := addEdge(i, i+1); err != nil {
+				return nil, err
+			}
+		}
+		if row+1 < n/side+1 {
+			if err := addEdge(i, i+side); err != nil {
+				return nil, err
+			}
+		}
+		// Periodic long chords shrink the diameter the way real WAN
+		// backbones do.
+		if i%5 == 0 {
+			if err := addEdge(i, (i+3*side+1)%n); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("topo: synthetic: %w", err)
+	}
+	return AutoDeployment(g, m, capacity)
+}

@@ -1,0 +1,47 @@
+package topo
+
+import "testing"
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a, err := Synthetic(100, 8, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Graph.Connected() {
+		t.Fatal("synthetic graph not connected")
+	}
+	if a.Graph.NumNodes() != 100 {
+		t.Fatalf("got %d nodes, want 100", a.Graph.NumNodes())
+	}
+	if len(a.Controllers) != 8 {
+		t.Fatalf("got %d controllers, want 8", len(a.Controllers))
+	}
+	b, err := Synthetic(100, 8, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatalf("edge count differs across builds: %d vs %d", a.Graph.NumEdges(), b.Graph.NumEdges())
+	}
+	for j := range a.Controllers {
+		if a.Controllers[j].Site != b.Controllers[j].Site {
+			t.Fatalf("controller %d site differs: %v vs %v", j, a.Controllers[j].Site, b.Controllers[j].Site)
+		}
+	}
+}
+
+func TestSyntheticSmall(t *testing.T) {
+	dep, err := Synthetic(20, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Synthetic(1, 1, 10); err == nil {
+		t.Fatal("want error for n < 2")
+	}
+}

@@ -161,19 +161,35 @@ func Algorithms(optimalBudget time.Duration) []Algorithm {
 		{Name: "PG", Run: func(sc *Scenario) (*Solution, error) {
 			return core.PG(sc.Problem)
 		}},
-		{Name: "Optimal", Run: func(sc *Scenario) (*Solution, error) {
-			warm, err := core.PM(sc.Problem)
-			if err != nil {
-				warm = nil
-			}
-			sol, err := opt.Solve(sc.Problem, opt.Options{TimeLimit: optimalBudget, Warm: warm})
-			if errors.Is(err, opt.ErrNoSolution) {
-				return nil, fmt.Errorf("%w: %v", ErrNoResult, err)
-			}
-			return sol, err
-		}},
+		{
+			Name: "Optimal",
+			Run: func(sc *Scenario) (*Solution, error) {
+				warm, err := core.PM(sc.Problem)
+				if err != nil {
+					warm = nil
+				}
+				return solveOptimal(sc, optimalBudget, warm)
+			},
+			// Sweeps seed the branch & bound incumbent from the PM solution
+			// the harness already computed for the case.
+			RunSeeded: func(sc *Scenario, prior map[string]*Solution) (*Solution, error) {
+				warm := prior["PM"]
+				if warm == nil {
+					warm, _ = core.PM(sc.Problem)
+				}
+				return solveOptimal(sc, optimalBudget, warm)
+			},
+		},
 	}
 	return algs
+}
+
+func solveOptimal(sc *Scenario, budget time.Duration, warm *Solution) (*Solution, error) {
+	sol, err := opt.Solve(sc.Problem, opt.Options{TimeLimit: budget, Warm: warm})
+	if errors.Is(err, opt.ErrNoSolution) {
+		return nil, fmt.Errorf("%w: %v", ErrNoResult, err)
+	}
+	return sol, err
 }
 
 // Sweep runs the given algorithms over every failure combination of size k
