@@ -4,6 +4,15 @@
 // (internal/monitor) and the event-driven recovery orchestrator
 // (internal/medic), and serves the daemon's state over HTTP.
 //
+// With -state-dir the daemon is crash-safe and replicable: its reconciled
+// state persists as snapshot+WAL (internal/store) in the directory, and a
+// lease there (internal/election) elects one leader among every replica
+// sharing it. Only the leader reconciles and pushes; followers tail the
+// store read-only and serve /status from it. Failover is fenced: a new
+// leader resumes at an epoch past everything the dead one persisted,
+// stamps the matching OpenFlow generation ID onto the agents, and the
+// predecessor's in-flight pushes and late WAL writes are both refused.
+//
 // Controller failures are injected either externally (the status endpoint
 // tells you where the echo endpoints listen) or with the built-in chaos
 // script: -kill fails a controller set after -kill-after, and -revive-after
@@ -14,13 +23,15 @@
 //
 //	pmedicd [-listen 127.0.0.1:8080] [-interval 500ms] [-timeout 0]
 //	        [-threshold 3] [-debounce 0] [-jitter 0] [-seed 1]
+//	        [-state-dir ""] [-replica-id ""] [-peers ""] [-lease-ttl 2s]
 //	        [-kill 3,4] [-kill-after 5s] [-revive-after 10s]
 //	        [-run-for 0] [-dry-run]
 //
 // Durations given as 0 pick the detector's defaults (timeout = interval,
 // jitter = interval/4, debounce = 2×interval). -run-for 0 runs until
-// interrupted. -dry-run builds the whole stack, prints the wiring, and
-// exits without serving — the CI smoke mode.
+// interrupted; SIGINT/SIGTERM drain the reconcile loop, flush the WAL,
+// resign the lease, and exit 0. -dry-run builds the whole stack, prints
+// the wiring, and exits without serving — the CI smoke mode.
 package main
 
 import (
@@ -35,14 +46,17 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"pmedic/internal/election"
 	"pmedic/internal/flow"
 	"pmedic/internal/medic"
 	"pmedic/internal/monitor"
 	"pmedic/internal/openflow"
 	"pmedic/internal/sdnsim"
+	"pmedic/internal/store"
 	"pmedic/internal/topo"
 )
 
@@ -66,6 +80,12 @@ type config struct {
 	reviveAfter time.Duration
 	runFor      time.Duration
 	dryRun      bool
+
+	// HA: a non-empty stateDir turns on persistence and leader election.
+	stateDir  string
+	replicaID string
+	peers     []string
+	leaseTTL  time.Duration
 }
 
 func parseFlags(args []string) (config, error) {
@@ -77,6 +97,10 @@ func parseFlags(args []string) (config, error) {
 	debounce := fs.Duration("debounce", 0, "failure-coalescing window (0 = 2×interval)")
 	jitter := fs.Duration("jitter", 0, "probe schedule jitter (0 = interval/4)")
 	seed := fs.Int64("seed", 1, "seed for probe schedules and push retry jitter")
+	stateDir := fs.String("state-dir", "", "snapshot+WAL state directory; enables crash-safe HA mode")
+	replicaID := fs.String("replica-id", "", "this replica's name in the leader lease (default pmedicd-<pid>)")
+	peers := fs.String("peers", "", "comma-separated replica IDs expected to share -state-dir (informational)")
+	leaseTTL := fs.Duration("lease-ttl", 2*time.Second, "leader lease validity; failover latency after SIGKILL is about one TTL")
 	kill := fs.String("kill", "", "comma-separated controller indices the chaos script kills")
 	killAfter := fs.Duration("kill-after", 5*time.Second, "delay before the chaos kill")
 	reviveAfter := fs.Duration("revive-after", 10*time.Second, "delay before the killed controllers return (0 = never)")
@@ -97,6 +121,17 @@ func parseFlags(args []string) (config, error) {
 		reviveAfter: *reviveAfter,
 		runFor:      *runFor,
 		dryRun:      *dryRun,
+		stateDir:    *stateDir,
+		replicaID:   *replicaID,
+		leaseTTL:    *leaseTTL,
+	}
+	if cfg.replicaID == "" {
+		cfg.replicaID = fmt.Sprintf("pmedicd-%d", os.Getpid())
+	}
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			cfg.peers = append(cfg.peers, strings.TrimSpace(p))
+		}
 	}
 	if *kill != "" {
 		for _, part := range strings.Split(*kill, ",") {
@@ -110,96 +145,261 @@ func parseFlags(args []string) (config, error) {
 	return cfg, nil
 }
 
+// stack is the simulated substrate every daemon role operates on: the
+// network, an agent per switch, an echo endpoint per controller.
+type stack struct {
+	dep     *topo.Deployment
+	flows   *flow.Set
+	network *sdnsim.Network
+	addrs   map[topo.NodeID]string
+	echos   []*openflow.EchoServer
+	targets []monitor.Target
+	close   func()
+}
+
+func buildStack() (*stack, error) {
+	dep, err := topo.ATT()
+	if err != nil {
+		return nil, err
+	}
+	flows, err := flow.Generate(dep.Graph, flow.Options{})
+	if err != nil {
+		return nil, err
+	}
+	network, err := sdnsim.New(dep, flows)
+	if err != nil {
+		return nil, err
+	}
+	s := &stack{dep: dep, flows: flows, network: network}
+
+	agents := make(map[topo.NodeID]*sdnsim.Agent, len(network.Switches))
+	echos := make([]*openflow.EchoServer, 0, len(network.Controllers))
+	s.close = func() {
+		for _, a := range agents {
+			_ = a.Close()
+		}
+		for _, es := range echos {
+			_ = es.Close()
+		}
+	}
+	for _, sw := range network.Switches {
+		a, err := sdnsim.ServeSwitch(sw, "127.0.0.1:0")
+		if err != nil {
+			s.close()
+			return nil, err
+		}
+		agents[sw.ID] = a
+	}
+	s.addrs = sdnsim.AgentAddrs(agents)
+	for range network.Controllers {
+		es, err := openflow.ServeEcho("127.0.0.1:0")
+		if err != nil {
+			s.close()
+			return nil, err
+		}
+		echos = append(echos, es)
+	}
+	s.echos = echos
+	network.OnControllerChange = func(j int, alive bool) { echos[j].SetAlive(alive) }
+	s.targets = make([]monitor.Target, len(network.Controllers))
+	for j := range network.Controllers {
+		s.targets[j] = monitor.Target{ID: j, Name: fmt.Sprintf("controller-%d", j), Addr: echos[j].Addr()}
+	}
+	return s, nil
+}
+
+// swapHandler atomically swaps the live HTTP surface as the replica moves
+// between follower and leader.
+type swapHandler struct{ v atomic.Value }
+
+func (h *swapHandler) Set(inner http.Handler) { h.v.Store(inner) }
+func (h *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.v.Load().(http.Handler).ServeHTTP(w, r)
+}
+
+// followerHandler serves a follower's read-only view: /status tailed from
+// the shared store, /metrics with just the leader gauge, /healthz.
+func followerHandler(dir, id string) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		st, err := medic.ReadStatus(dir)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		st.Replica = id
+		st.Role = "follower"
+		if lease, err := election.Leader(dir); err == nil {
+			st.Term = lease.Term
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, "# HELP pmedicd_leader 1 when this replica holds the leader lease, 0 otherwise.\n# TYPE pmedicd_leader gauge\npmedicd_leader 0\n")
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// daemon is one pmedicd replica: always the stack and the HTTP surface,
+// plus — while leading — the store, detector, and reconcile loop.
+type daemon struct {
+	cfg config
+	s   *stack
+	out io.Writer
+
+	handler *swapHandler
+	el      *election.Elector
+	st      *store.Store
+	mon     *monitor.Monitor
+	m       *medic.Medic
+	fenced  chan struct{}
+}
+
+func (d *daemon) detectorConfig() monitor.Config {
+	return monitor.Config{
+		Interval:  d.cfg.interval,
+		Jitter:    d.cfg.jitter,
+		Timeout:   d.cfg.timeout,
+		Threshold: d.cfg.threshold,
+		Debounce:  d.cfg.debounce,
+		Seed:      d.cfg.seed,
+	}
+}
+
+// promote runs the leader takeover sequence: open the store under the
+// lease guard, replay it into a medic (the epoch bump fences the dead
+// leader), stamp the new epoch's generation floor onto the agents, hand
+// the restored failure set to a fresh detector, start reconciling, and
+// swap in the leader HTTP surface.
+func (d *daemon) promote(term uint64) error {
+	opts := store.Options{}
+	if d.el != nil {
+		opts.Guard = d.el.Check
+	}
+	var err error
+	if d.cfg.stateDir != "" {
+		if d.st, err = store.Open(d.cfg.stateDir, opts); err != nil {
+			return err
+		}
+	}
+	d.m, err = medic.New(medic.Config{
+		Dep:       d.s.dep,
+		Flows:     d.s.flows,
+		Addrs:     d.s.addrs,
+		Net:       d.s.network,
+		Push:      sdnsim.PushOptions{Seed: d.cfg.seed},
+		Store:     d.st,
+		ReplicaID: d.cfg.replicaID,
+		OnFenced: func() {
+			select {
+			case d.fenced <- struct{}{}:
+			default:
+			}
+		},
+	})
+	if err != nil {
+		if d.st != nil {
+			_ = d.st.Close()
+			d.st = nil
+		}
+		return err
+	}
+	d.m.SetRole("leader", term)
+	if gen := d.m.FenceGen(); gen > 0 {
+		fenced, _, err := sdnsim.FenceAgents(d.s.addrs, gen, sdnsim.PushOptions{Seed: d.cfg.seed})
+		if err != nil {
+			// Unreachable agents are demoted later by the push path; a fenced
+			// sweep error only means this replica is itself stale.
+			fmt.Fprintf(d.out, "pmedicd: fencing sweep at generation %d: %d fenced, %v\n", gen, fenced, err)
+		} else {
+			fmt.Fprintf(d.out, "pmedicd: fenced %d agents at generation %d\n", fenced, gen)
+		}
+	}
+	d.mon = monitor.New(d.s.targets, d.detectorConfig())
+	if restored := d.m.Status().Failed; len(restored) > 0 {
+		d.mon.MarkDown(restored...)
+		fmt.Fprintf(d.out, "pmedicd: detector handoff: controllers %v restored as down\n", restored)
+	}
+	d.mon.Start()
+	d.m.Start(d.mon.Events())
+	d.handler.Set(medic.Handler(d.m, d.mon))
+	fmt.Fprintf(d.out, "pmedicd: %s leading at term %d, epoch %d\n", d.cfg.replicaID, term, d.m.Epoch())
+	return nil
+}
+
+// demote tears the leader pipeline down: stop probing, drain the reconcile
+// loop, flush the WAL into a checkpoint (graceful only), release the
+// store, and fall back to the follower HTTP surface.
+func (d *daemon) demote(graceful bool) {
+	if d.cfg.stateDir != "" {
+		d.handler.Set(followerHandler(d.cfg.stateDir, d.cfg.replicaID))
+	}
+	if d.mon != nil {
+		d.mon.Stop()
+		d.mon = nil
+	}
+	if d.m != nil {
+		d.m.Stop()
+		if graceful {
+			if err := d.m.FlushState(); err != nil {
+				fmt.Fprintf(d.out, "pmedicd: flush on shutdown: %v\n", err)
+			}
+		}
+		d.m = nil
+	}
+	if d.st != nil {
+		_ = d.st.Close()
+		d.st = nil
+	}
+}
+
 func run(args []string, out io.Writer) error {
 	cfg, err := parseFlags(args)
 	if err != nil {
 		return err
 	}
 
-	dep, err := topo.ATT()
+	s, err := buildStack()
 	if err != nil {
 		return err
 	}
-	flows, err := flow.Generate(dep.Graph, flow.Options{})
-	if err != nil {
-		return err
-	}
-	network, err := sdnsim.New(dep, flows)
-	if err != nil {
-		return err
-	}
+	defer s.close()
 	for _, j := range cfg.kill {
-		if j < 0 || j >= len(network.Controllers) {
-			return fmt.Errorf("-kill: controller %d out of range [0,%d)", j, len(network.Controllers))
+		if j < 0 || j >= len(s.network.Controllers) {
+			return fmt.Errorf("-kill: controller %d out of range [0,%d)", j, len(s.network.Controllers))
 		}
-	}
-
-	// One openflow agent per switch.
-	agents := make(map[topo.NodeID]*sdnsim.Agent, len(network.Switches))
-	defer func() {
-		for _, a := range agents {
-			_ = a.Close()
-		}
-	}()
-	for _, sw := range network.Switches {
-		a, err := sdnsim.ServeSwitch(sw, "127.0.0.1:0")
-		if err != nil {
-			return err
-		}
-		agents[sw.ID] = a
-	}
-
-	// One echo liveness endpoint per controller, wired to the lifecycle hook.
-	echos := make([]*openflow.EchoServer, len(network.Controllers))
-	defer func() {
-		for _, es := range echos {
-			if es != nil {
-				_ = es.Close()
-			}
-		}
-	}()
-	for j := range network.Controllers {
-		es, err := openflow.ServeEcho("127.0.0.1:0")
-		if err != nil {
-			return err
-		}
-		echos[j] = es
-	}
-	network.OnControllerChange = func(j int, alive bool) { echos[j].SetAlive(alive) }
-
-	targets := make([]monitor.Target, len(network.Controllers))
-	for j := range network.Controllers {
-		targets[j] = monitor.Target{ID: j, Name: fmt.Sprintf("controller-%d", j), Addr: echos[j].Addr()}
-	}
-	mon := monitor.New(targets, monitor.Config{
-		Interval:  cfg.interval,
-		Jitter:    cfg.jitter,
-		Timeout:   cfg.timeout,
-		Threshold: cfg.threshold,
-		Debounce:  cfg.debounce,
-		Seed:      cfg.seed,
-	})
-
-	m, err := medic.New(medic.Config{
-		Dep:   dep,
-		Flows: flows,
-		Addrs: sdnsim.AgentAddrs(agents),
-		Net:   network,
-		Push:  sdnsim.PushOptions{Seed: cfg.seed},
-	})
-	if err != nil {
-		return err
 	}
 
 	fmt.Fprintf(out, "pmedicd: ATT: %d switches (agents up), %d controllers (echo endpoints up)\n",
-		len(network.Switches), len(network.Controllers))
-	for j := range network.Controllers {
+		len(s.network.Switches), len(s.network.Controllers))
+	for j := range s.network.Controllers {
 		fmt.Fprintf(out, "  controller %d: site %d, probe endpoint %s\n",
-			j, dep.Controllers[j].Site, echos[j].Addr())
+			j, s.dep.Controllers[j].Site, s.echos[j].Addr())
 	}
 	fmt.Fprintf(out, "  detector: interval=%v threshold=%d\n", cfg.interval, cfg.threshold)
+	if cfg.stateDir != "" {
+		fmt.Fprintf(out, "  HA: replica %s, state dir %s, lease TTL %v, peers %v\n",
+			cfg.replicaID, cfg.stateDir, cfg.leaseTTL, cfg.peers)
+	}
+
+	d := &daemon{cfg: cfg, s: s, out: out, handler: &swapHandler{}, fenced: make(chan struct{}, 1)}
+	d.handler.Set(followerHandler(cfg.stateDir, cfg.replicaID))
 
 	if cfg.dryRun {
+		if cfg.stateDir != "" {
+			st, err := store.Open(cfg.stateDir, store.Options{})
+			if err != nil {
+				return err
+			}
+			_ = st.Close()
+		}
 		fmt.Fprintln(out, "pmedicd: dry run, exiting")
 		return nil
 	}
@@ -208,15 +408,44 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: medic.Handler(m, mon)}
+	srv := &http.Server{Handler: d.handler}
 	httpErr := make(chan error, 1)
 	go func() { httpErr <- srv.Serve(ln) }()
 	fmt.Fprintf(out, "pmedicd: status at http://%s/status\n", ln.Addr())
 
-	mon.Start()
-	m.Start(mon.Events())
-	defer m.Stop()
-	defer mon.Stop()
+	// Standalone mode leads unconditionally; HA mode leads only on
+	// election, and every transition flows through the channels.
+	electedC := make(chan uint64, 1)
+	deposedC := make(chan struct{}, 1)
+	if cfg.stateDir == "" {
+		if err := d.promote(0); err != nil {
+			return err
+		}
+	} else {
+		d.el, err = election.New(election.Config{
+			Dir:  cfg.stateDir,
+			ID:   cfg.replicaID,
+			TTL:  cfg.leaseTTL,
+			Seed: cfg.seed,
+			OnElected: func(term uint64) {
+				select {
+				case electedC <- term:
+				default:
+				}
+			},
+			OnDeposed: func() {
+				select {
+				case deposedC <- struct{}{}:
+				default:
+				}
+			},
+		})
+		if err != nil {
+			return err
+		}
+		d.el.Start()
+		fmt.Fprintf(out, "pmedicd: %s campaigning for the lease in %s\n", cfg.replicaID, cfg.stateDir)
+	}
 
 	// The optional chaos script: kill, then maybe revive.
 	var killC, reviveC <-chan time.Time
@@ -237,11 +466,28 @@ func run(args []string, out io.Writer) error {
 
 	for {
 		select {
+		case term := <-electedC:
+			if err := d.promote(term); err != nil {
+				fmt.Fprintf(out, "pmedicd: promotion at term %d failed: %v\n", term, err)
+				d.demote(false)
+			}
+		case <-deposedC:
+			fmt.Fprintf(out, "pmedicd: %s deposed, stepping down\n", cfg.replicaID)
+			d.demote(false)
+		case <-d.fenced:
+			// A push was refused by a newer generation: a newer leader owns
+			// the network even if our lease view lags. Step down and resign
+			// so the real leader's term advances cleanly.
+			fmt.Fprintf(out, "pmedicd: %s fenced on the wire, stepping down\n", cfg.replicaID)
+			d.demote(false)
+			if d.el != nil {
+				_ = d.el.Resign()
+			}
 		case <-killC:
 			killC = nil
 			fmt.Fprintf(out, "pmedicd: chaos: killing controllers %v\n", cfg.kill)
 			for _, j := range cfg.kill {
-				if err := network.StopController(j); err != nil {
+				if err := s.network.StopController(j); err != nil {
 					return err
 				}
 			}
@@ -254,16 +500,16 @@ func run(args []string, out io.Writer) error {
 			reviveC = nil
 			fmt.Fprintf(out, "pmedicd: chaos: reviving controllers %v\n", cfg.kill)
 			for _, j := range cfg.kill {
-				if err := network.StartController(j); err != nil && !errors.Is(err, sdnsim.ErrControllerAlive) {
+				if err := s.network.StartController(j); err != nil && !errors.Is(err, sdnsim.ErrControllerAlive) {
 					return err
 				}
 			}
 		case sig := <-stop:
 			fmt.Fprintf(out, "pmedicd: %v, shutting down\n", sig)
-			return shutdown(srv, m, out)
+			return shutdown(srv, d, out)
 		case <-runC:
 			fmt.Fprintf(out, "pmedicd: run time elapsed, shutting down\n")
-			return shutdown(srv, m, out)
+			return shutdown(srv, d, out)
 		case err := <-httpErr:
 			if errors.Is(err, http.ErrServerClosed) {
 				return nil
@@ -273,11 +519,29 @@ func run(args []string, out io.Writer) error {
 	}
 }
 
-// shutdown closes the HTTP server and prints the daemon's final state.
-func shutdown(srv *http.Server, m *medic.Medic, out io.Writer) error {
+// shutdown is the graceful exit: drain the reconcile loop, flush the WAL
+// into a checkpoint, resign the lease for an immediate handoff, close the
+// HTTP server, and print the daemon's final state. It returns nil — the
+// exit-0 contract of SIGINT/SIGTERM.
+func shutdown(srv *http.Server, d *daemon, out io.Writer) error {
+	var final *medic.Status
+	if d.m != nil {
+		st := d.m.Status()
+		final = &st
+	}
+	d.demote(true)
+	if d.el != nil {
+		if err := d.el.Resign(); err != nil {
+			fmt.Fprintf(out, "pmedicd: resign: %v\n", err)
+		}
+		d.el.Stop()
+	}
 	_ = srv.Close()
-	st := m.Status()
-	raw, err := json.MarshalIndent(st, "", "  ")
+	if final == nil {
+		fmt.Fprintln(out, "pmedicd: shut down as follower")
+		return nil
+	}
+	raw, err := json.MarshalIndent(final, "", "  ")
 	if err != nil {
 		return err
 	}

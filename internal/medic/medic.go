@@ -38,6 +38,7 @@ import (
 	"pmedic/internal/monitor"
 	"pmedic/internal/scenario"
 	"pmedic/internal/sdnsim"
+	"pmedic/internal/store"
 	"pmedic/internal/topo"
 )
 
@@ -75,6 +76,23 @@ type Config struct {
 	Restorer RestoreFunc
 	// LogSize bounds the structured event log (default 256 entries).
 	LogSize int
+
+	// Store, when set, persists the daemon's durable state — epoch, failure
+	// set, adopted mapping, unreachable set, event log — as snapshot+WAL.
+	// New replays it, so a restarted daemon resumes mid-episode at an epoch
+	// strictly greater than anything it persisted, instead of re-detecting
+	// from scratch. The medic appends records; the store's lifecycle (Open/
+	// Close) belongs to the caller.
+	Store *store.Store
+	// CheckpointEvery folds the WAL into a fresh snapshot once this many
+	// records accumulate (default 64).
+	CheckpointEvery int
+	// ReplicaID names this daemon instance in Status (HA deployments).
+	ReplicaID string
+	// OnFenced fires (once per reconcile, on the loop goroutine) when a
+	// push is refused by generation-ID fencing — the signal that a newer
+	// leader has taken over and this daemon must step down.
+	OnFenced func()
 }
 
 // Medic is the reconcile loop. Create with New, feed with Start.
@@ -97,8 +115,15 @@ type Medic struct {
 	// episode; cleared when the failure set empties.
 	unreachable map[topo.NodeID]bool
 	snap        snapshot
+	// role and term are the HA identity Status reports (SetRole).
+	role string
+	term uint64
 
-	log *eventLog
+	log     *eventLog
+	metrics *Metrics
+	// persistFailures counts store writes that failed (durability degraded
+	// but the daemon stays up).
+	persistFailures uint64
 
 	events    <-chan monitor.Event
 	startOnce sync.Once
@@ -107,15 +132,27 @@ type Medic struct {
 	wg        sync.WaitGroup
 }
 
-// snapshot is the reconciled state Status reports.
+// snapshot is the reconciled state Status reports. Every field is
+// JSON-serializable because the same struct is the persisted "outcome"
+// payload: what Status shows after a restart is byte-for-byte what the
+// dead daemon last reconciled.
 type snapshot struct {
-	converged bool
-	ideal     bool
-	label     string
-	inst      *scenario.Instance
-	report    *sdnsim.RecoveryReport
-	restores  int
-	updatedAt time.Time
+	Converged bool   `json:"converged"`
+	Ideal     bool   `json:"ideal"`
+	Label     string `json:"label,omitempty"`
+	Restores  int    `json:"restores"`
+
+	MinProg        int `json:"min_prog"`
+	TotalProg      int `json:"total_prog"`
+	RecoveredFlows int `json:"recovered_flows"`
+	OfflineFlows   int `json:"offline_flows"`
+	PushRounds     int `json:"push_rounds,omitempty"`
+	FlowModsAcked  int `json:"flow_mods_acked,omitempty"`
+
+	Mapping  []MappingEntry `json:"mapping,omitempty"`
+	FlowProg []FlowProg     `json:"flow_prog,omitempty"`
+
+	UpdatedAt time.Time `json:"updated_at"`
 }
 
 // New validates the wiring and returns an idle Medic.
@@ -138,20 +175,88 @@ func New(cfg Config) (*Medic, error) {
 	if cfg.LogSize <= 0 {
 		cfg.LogSize = 256
 	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 64
+	}
 	ctx, err := scenario.NewContext(cfg.Dep, cfg.Flows)
 	if err != nil {
 		return nil, fmt.Errorf("medic: %w", err)
 	}
-	return &Medic{
+	m := &Medic{
 		cfg:         cfg,
 		ctx:         ctx,
 		failed:      make(map[int]bool),
 		unreachable: make(map[topo.NodeID]bool),
-		snap:        snapshot{converged: true, ideal: true, updatedAt: time.Now()},
+		snap:        snapshot{Converged: true, Ideal: true, UpdatedAt: time.Now()},
 		log:         newEventLog(cfg.LogSize),
+		metrics:     newMetrics(),
 		done:        make(chan struct{}),
-	}, nil
+	}
+	if cfg.Store != nil {
+		m.metrics.wireStore(cfg.Store)
+		ds, err := replayDurable(cfg.Store.Snapshot(), cfg.Store.Records())
+		if err != nil {
+			return nil, fmt.Errorf("medic: restore: %w", err)
+		}
+		if ds != nil {
+			m.restore(ds)
+		}
+		// Wire the log to the WAL only after restore, so replayed entries
+		// are not re-appended.
+		m.log.onAppend = m.persistLogEntry
+		if ds != nil {
+			m.log.addf(KindResume, "resumed at epoch %d from snapshot+WAL: failed=%v, %d unreachable, log seq %d",
+				m.epoch, ds.Failed, len(ds.Unreachable), ds.LogSeq)
+		}
+	}
+	return m, nil
 }
+
+// restore loads a replayed durable state and bumps the epoch, so the
+// resumed daemon's first generation ID is strictly greater than anything
+// the dead incarnation could have signed — its in-flight pushes are fenced
+// on the wire.
+func (m *Medic) restore(ds *durableState) {
+	m.epoch = ds.Epoch + 1
+	for _, j := range ds.Failed {
+		m.failed[j] = true
+	}
+	m.pendingRecovered = append([]int(nil), ds.PendingRecovered...)
+	for _, sw := range ds.Unreachable {
+		m.unreachable[sw] = true
+	}
+	m.snap = ds.Snap
+	m.log.restoreRing(ds.LogSeq, ds.LogEntries)
+}
+
+// Epoch returns the current epoch.
+func (m *Medic) Epoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// FenceGen is the generation a freshly promoted leader stamps onto the
+// agents (sdnsim.FenceAgents): the bottom of the current epoch's range.
+// Every claim signed by an earlier epoch — the deposed leader's — compares
+// below it and is refused.
+func (m *Medic) FenceGen() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch * genStride
+}
+
+// SetRole records the daemon's HA identity for Status and the leader
+// gauge.
+func (m *Medic) SetRole(role string, term uint64) {
+	m.mu.Lock()
+	m.role, m.term = role, term
+	m.mu.Unlock()
+	m.metrics.setLeader(role == "leader", term)
+}
+
+// Metrics exposes the daemon's metrics registry (the /metrics source).
+func (m *Medic) Metrics() *Metrics { return m.metrics }
 
 // Start launches the reconcile loop over the detector's event stream. The
 // loop exits when the stream closes or Stop is called.
@@ -217,6 +322,8 @@ func (m *Medic) apply(ev monitor.Event) {
 		}
 	}
 	m.mu.Unlock()
+	m.metrics.addEpoch()
+	m.persistDetect(epoch, ev)
 	m.log.addf(KindDetect, "epoch %d: %s", epoch, ev)
 }
 
@@ -226,11 +333,14 @@ func (m *Medic) apply(ev monitor.Event) {
 func (m *Medic) stalePlan() bool { return len(m.events) > 0 }
 
 // pushOpts derives the wire options for one epoch: an epoch-ranked
-// generation ID (stale pushes are refused on the wire) and a decorrelated
-// retry-jitter seed.
+// generation ID (stale pushes are refused on the wire), the matching
+// fencing limit (a push signed by this epoch may resynchronize inside the
+// epoch's generation stride but never claim into a later epoch's range),
+// and a decorrelated retry-jitter seed.
 func (m *Medic) pushOpts(epoch uint64) sdnsim.PushOptions {
 	opts := m.cfg.Push
 	opts.GenerationID = epoch*genStride + 1
+	opts.GenerationLimit = (epoch+1)*genStride - 1
 	opts.Seed = m.cfg.Push.Seed ^ int64(epoch)
 	return opts
 }
@@ -239,6 +349,13 @@ func (m *Medic) pushOpts(epoch uint64) sdnsim.PushOptions {
 // on the loop goroutine; the epoch cannot advance underneath it, but newer
 // events can queue, which is checked between planning and pushing.
 func (m *Medic) reconcile() {
+	start := time.Now()
+	defer func() {
+		m.metrics.observeReconcile(time.Since(start))
+		m.persistOutcome()
+		m.maybeCheckpoint()
+	}()
+
 	m.mu.Lock()
 	epoch := m.epoch
 	failed := make([]int, 0, len(m.failed))
@@ -259,7 +376,7 @@ func (m *Medic) reconcile() {
 	if len(failed) == 0 {
 		m.mu.Lock()
 		m.unreachable = make(map[topo.NodeID]bool)
-		m.snap = snapshot{converged: true, ideal: true, restores: m.snap.restores, updatedAt: time.Now()}
+		m.snap = snapshot{Converged: true, Ideal: true, Restores: m.snap.Restores, UpdatedAt: time.Now()}
 		m.mu.Unlock()
 		if len(recovered) > 0 {
 			m.log.addf(KindFailback, "epoch %d: all controllers back, ideal mapping restored", epoch)
@@ -292,6 +409,22 @@ func (m *Medic) reconcile() {
 		m.log.addf(KindError, "epoch %d: push %s: %v", epoch, inst.Label(), err)
 		return
 	}
+	m.metrics.addPushRetries(pushRetries(rep))
+
+	// A fenced push means a newer epoch — a newer leader — owns the
+	// switches now. This daemon's view is stale: report, step down, and
+	// leave the network to the claimant instead of fighting it.
+	if n := fencedOutcomes(rep); n > 0 {
+		m.metrics.addFenced(uint64(n))
+		m.setUnconverged(fmt.Sprintf("push for %s fenced by a newer generation", inst.Label()))
+		m.log.addf(KindFenced, "epoch %d: push %s refused by generation-ID fencing on %d switch(es); a newer leader owns the network",
+			epoch, inst.Label(), n)
+		if m.cfg.OnFenced != nil {
+			m.cfg.OnFenced()
+		}
+		return
+	}
+
 	m.log.addf(KindPush, "epoch %d: pushed %s: %d flow-mods acked in %d round(s), %d demoted",
 		epoch, inst.Label(), rep.FlowModsAcked, rep.Rounds, len(rep.Demoted))
 
@@ -310,18 +443,68 @@ func (m *Medic) reconcile() {
 	}
 
 	m.mu.Lock()
-	m.snap = snapshot{
-		converged: true,
-		label:     inst.Label(),
-		inst:      inst,
-		report:    rep,
-		restores:  m.snap.restores,
-		updatedAt: time.Now(),
-	}
+	restores := m.snap.Restores
+	m.snap = achievedSnapshot(inst, rep, restores)
 	m.mu.Unlock()
 	m.log.addf(KindConverged, "epoch %d: converged on %s: r=%d total=%d recovered=%d/%d",
 		epoch, inst.Label(), rep.Achieved.MinProg, rep.Achieved.TotalProg,
 		rep.Achieved.RecoveredFlows, inst.OfflineFlowCount())
+}
+
+// achievedSnapshot flattens a pushed plan into the serializable reconciled
+// state: the mapping table in instance switch order, per-flow achieved
+// programmability sorted by flow ID, and the plan metrics.
+func achievedSnapshot(inst *scenario.Instance, rep *sdnsim.RecoveryReport, restores int) snapshot {
+	s := snapshot{
+		Converged:      true,
+		Label:          inst.Label(),
+		Restores:       restores,
+		MinProg:        rep.Achieved.MinProg,
+		TotalProg:      rep.Achieved.TotalProg,
+		RecoveredFlows: rep.Achieved.RecoveredFlows,
+		OfflineFlows:   inst.OfflineFlowCount(),
+		PushRounds:     rep.Rounds,
+		FlowModsAcked:  rep.FlowModsAcked,
+		UpdatedAt:      time.Now(),
+	}
+	for i, jj := range rep.Final.SwitchController {
+		e := MappingEntry{Switch: inst.Switches[i], Controller: -1}
+		if jj >= 0 {
+			e.Controller = inst.Active[jj]
+		}
+		s.Mapping = append(s.Mapping, e)
+	}
+	for l, prog := range rep.Achieved.FlowProg {
+		s.FlowProg = append(s.FlowProg, FlowProg{Flow: inst.FlowIDs[l], Prog: prog})
+	}
+	for _, lid := range inst.Unrecoverable {
+		s.FlowProg = append(s.FlowProg, FlowProg{Flow: lid, Prog: 0})
+	}
+	sort.Slice(s.FlowProg, func(a, b int) bool { return s.FlowProg[a].Flow < s.FlowProg[b].Flow })
+	return s
+}
+
+// pushRetries totals the connection attempts beyond each switch's first.
+func pushRetries(rep *sdnsim.RecoveryReport) uint64 {
+	var n uint64
+	for i := range rep.Outcomes {
+		if a := rep.Outcomes[i].Attempts; a > 1 {
+			n += uint64(a - 1)
+		}
+	}
+	return n
+}
+
+// fencedOutcomes counts switches whose push was refused by generation-ID
+// fencing.
+func fencedOutcomes(rep *sdnsim.RecoveryReport) int {
+	n := 0
+	for i := range rep.Outcomes {
+		if rep.Outcomes[i].Err != nil && errors.Is(rep.Outcomes[i].Err, sdnsim.ErrFenced) {
+			n++
+		}
+	}
+	return n
 }
 
 // plan solves the instance, incrementally when possible: switches already
@@ -384,8 +567,9 @@ func (m *Medic) restoreDomain(epoch uint64, j int) {
 	for _, sw := range rep.Failed {
 		m.unreachable[sw] = true
 	}
-	m.snap.restores++
+	m.snap.Restores++
 	m.mu.Unlock()
+	m.metrics.addRestore()
 	m.log.addf(KindRestore, "epoch %d: controller %d returned: %d flow-mods restored to its domain, %d switch(es) unreachable",
 		epoch, j, rep.FlowModsAcked, len(rep.Failed))
 }
@@ -393,9 +577,9 @@ func (m *Medic) restoreDomain(epoch uint64, j int) {
 // setUnconverged marks the current failure set as lacking a pushed plan.
 func (m *Medic) setUnconverged(why string) {
 	m.mu.Lock()
-	m.snap.converged = false
-	m.snap.ideal = false
-	m.snap.label = why
-	m.snap.updatedAt = time.Now()
+	m.snap.Converged = false
+	m.snap.Ideal = false
+	m.snap.Label = why
+	m.snap.UpdatedAt = time.Now()
 	m.mu.Unlock()
 }

@@ -1,0 +1,110 @@
+package medic
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pmedic/internal/store"
+)
+
+// reconcileBuckets are the histogram upper bounds, in seconds, for
+// reconcile-pass latency (plan + push + adopt).
+var reconcileBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5}
+
+// Metrics is the daemon's metrics registry, rendered in Prometheus text
+// exposition format by WriteTo (the /metrics handler). It is hand-rolled —
+// the repo takes no dependency on a client library — and safe for
+// concurrent use.
+type Metrics struct {
+	epochs      atomic.Uint64
+	pushRetries atomic.Uint64
+	fenced      atomic.Uint64
+	restores    atomic.Uint64
+	leader      atomic.Uint64 // 1 when leader
+	term        atomic.Uint64
+
+	mu           sync.Mutex
+	reconcileN   uint64
+	reconcileSum float64
+	reconcileLE  []uint64 // cumulative counts per bucket in reconcileBuckets
+
+	st *store.Store // WAL fsync/checkpoint/pending sources, nil standalone
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{reconcileLE: make([]uint64, len(reconcileBuckets))}
+}
+
+// wireStore attaches the persistence layer as a metrics source.
+func (x *Metrics) wireStore(st *store.Store) { x.st = st }
+
+func (x *Metrics) addEpoch()               { x.epochs.Add(1) }
+func (x *Metrics) addPushRetries(n uint64) { x.pushRetries.Add(n) }
+func (x *Metrics) addFenced(n uint64)      { x.fenced.Add(n) }
+func (x *Metrics) addRestore()             { x.restores.Add(1) }
+
+func (x *Metrics) setLeader(leader bool, term uint64) {
+	if leader {
+		x.leader.Store(1)
+	} else {
+		x.leader.Store(0)
+	}
+	x.term.Store(term)
+}
+
+func (x *Metrics) observeReconcile(d time.Duration) {
+	secs := d.Seconds()
+	x.mu.Lock()
+	x.reconcileN++
+	x.reconcileSum += secs
+	for i, le := range reconcileBuckets {
+		if secs <= le {
+			x.reconcileLE[i]++
+		}
+	}
+	x.mu.Unlock()
+}
+
+// WriteTo renders the registry in Prometheus text format.
+func (x *Metrics) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("pmedicd_epochs_applied_total", "Detector event batches folded into the failure set.", x.epochs.Load())
+	counter("pmedicd_push_retries_total", "Per-switch push connection attempts beyond the first.", x.pushRetries.Load())
+	counter("pmedicd_fenced_pushes_total", "Switch pushes refused by generation-ID fencing.", x.fenced.Load())
+	counter("pmedicd_restores_total", "Returned controller domains restored to the ideal mapping.", x.restores.Load())
+	gauge("pmedicd_leader", "1 when this replica holds the leader lease, 0 otherwise.", x.leader.Load())
+	gauge("pmedicd_leader_term", "Fencing term of the last lease this replica held or observed.", x.term.Load())
+
+	if x.st != nil {
+		counter("pmedicd_wal_fsyncs_total", "fsync calls issued by the snapshot+WAL store.", x.st.Fsyncs())
+		counter("pmedicd_wal_checkpoints_total", "WAL-into-snapshot checkpoints completed.", x.st.Checkpoints())
+		gauge("pmedicd_wal_pending_records", "WAL records not yet folded into a snapshot.", uint64(x.st.Pending()))
+	}
+
+	x.mu.Lock()
+	n, sum := x.reconcileN, x.reconcileSum
+	le := append([]uint64(nil), x.reconcileLE...)
+	x.mu.Unlock()
+	name := "pmedicd_reconcile_duration_seconds"
+	fmt.Fprintf(&b, "# HELP %s Latency of one reconcile pass (plan, push, adopt).\n# TYPE %s histogram\n", name, name)
+	for i, bound := range reconcileBuckets {
+		fmt.Fprintf(&b, "%s_bucket{le=\"%g\"} %d\n", name, bound, le[i])
+	}
+	fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, n)
+	fmt.Fprintf(&b, "%s_sum %g\n", name, sum)
+	fmt.Fprintf(&b, "%s_count %d\n", name, n)
+
+	written, err := io.WriteString(w, b.String())
+	return int64(written), err
+}

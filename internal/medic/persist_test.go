@@ -1,0 +1,304 @@
+package medic
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"pmedic/internal/monitor"
+	"pmedic/internal/store"
+	"pmedic/internal/topo"
+)
+
+// newStoredMedic builds a medic over an open store in dir, with the
+// recorder stubbing the wire.
+func newStoredMedic(t *testing.T, dir string, rec *recorder, extra func(*Config)) (*Medic, *store.Store, chan monitor.Event) {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = st.Close() })
+	dep, flows := testFixture(t)
+	cfg := Config{
+		Dep:      dep,
+		Flows:    flows,
+		Addrs:    map[topo.NodeID]string{0: "stubbed"},
+		Pusher:   rec.push,
+		Restorer: rec.restore,
+		Store:    st,
+	}
+	if extra != nil {
+		extra(&cfg)
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := make(chan monitor.Event, 8)
+	m.Start(events)
+	t.Cleanup(m.Stop)
+	return m, st, events
+}
+
+// TestSnapshotReplayRoundTrip is the determinism property the crash-safety
+// design rests on: for any sequence of applied events, a daemon restarted
+// over the dead one's state directory reports byte-for-byte the same
+// achieved mapping and flow programmability, resumes the failure set and
+// event-log numbering, and bumps the epoch past everything persisted.
+func TestSnapshotReplayRoundTrip(t *testing.T) {
+	cases := []struct {
+		name   string
+		events []monitor.Event
+		failed []int
+	}{
+		{"single failure", []monitor.Event{{Seq: 1, Failed: []int{3}}}, []int{3}},
+		{"correlated pair", []monitor.Event{{Seq: 1, Failed: []int{3, 4}}}, []int{3, 4}},
+		{"fail then partial recover", []monitor.Event{
+			{Seq: 1, Failed: []int{2, 3}},
+			{Seq: 2, Recovered: []int{2}},
+		}, []int{3}},
+		{"successive failures", []monitor.Event{
+			{Seq: 1, Failed: []int{1}},
+			{Seq: 2, Failed: []int{4}},
+		}, []int{1, 4}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			rec := &recorder{}
+			m1, _, events := newStoredMedic(t, dir, rec, nil)
+			for i, ev := range tc.events {
+				ev.At = time.Now()
+				events <- ev
+				waitStatus(t, m1, func(s Status) bool {
+					return s.Converged && s.Epoch == uint64(i+1)
+				})
+			}
+			before := m1.Status()
+			m1.Stop() // the daemon dies; the WAL alone carries the state
+
+			m2, _, _ := newStoredMedic(t, dir, &recorder{}, nil)
+			after := m2.Status()
+
+			if want := before.Epoch + 1; after.Epoch != want {
+				t.Fatalf("resumed epoch = %d, want %d (persisted %d + fencing bump)",
+					after.Epoch, want, before.Epoch)
+			}
+			if len(after.Failed) != len(tc.failed) {
+				t.Fatalf("resumed Failed = %v, want %v", after.Failed, tc.failed)
+			}
+			for i, j := range tc.failed {
+				if after.Failed[i] != j {
+					t.Fatalf("resumed Failed = %v, want %v", after.Failed, tc.failed)
+				}
+			}
+			mustJSONEqual(t, "mapping", before.Mapping, after.Mapping)
+			mustJSONEqual(t, "flow programmability", before.FlowProg, after.FlowProg)
+			if before.MinProg != after.MinProg || before.TotalProg != after.TotalProg ||
+				before.RecoveredFlows != after.RecoveredFlows || before.OfflineFlows != after.OfflineFlows {
+				t.Fatalf("plan metrics drifted: before %+v after %+v", before, after)
+			}
+
+			// The event log resumes its numbering: the resume entry itself
+			// continues the dead daemon's sequence instead of restarting at 1.
+			last := after.Events[len(after.Events)-1]
+			if last.Kind != KindResume {
+				t.Fatalf("last restored log entry is %q, want resume marker", last.Kind)
+			}
+			prevMax := before.Events[len(before.Events)-1].Seq
+			if last.Seq != prevMax+1 {
+				t.Fatalf("resume entry seq = %d, want %d (continuing the dead daemon's log)",
+					last.Seq, prevMax+1)
+			}
+		})
+	}
+}
+
+func mustJSONEqual(t *testing.T, what string, a, b any) {
+	t.Helper()
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("%s not byte-identical across restart:\n before: %s\n after:  %s", what, ja, jb)
+	}
+}
+
+// TestCheckpointFoldsDaemonWAL drives enough reconciles to cross
+// CheckpointEvery and asserts the WAL folded into a snapshot — and that a
+// restart over the checkpointed directory still restores the same state.
+func TestCheckpointFoldsDaemonWAL(t *testing.T) {
+	dir := t.TempDir()
+	rec := &recorder{}
+	m1, st1, events := newStoredMedic(t, dir, rec, func(c *Config) { c.CheckpointEvery = 4 })
+
+	toggles := []monitor.Event{
+		{Seq: 1, Failed: []int{3}},
+		{Seq: 2, Failed: []int{4}},
+		{Seq: 3, Recovered: []int{4}},
+		{Seq: 4, Failed: []int{4}},
+	}
+	for i, ev := range toggles {
+		ev.At = time.Now()
+		events <- ev
+		waitStatus(t, m1, func(s Status) bool { return s.Converged && s.Epoch == uint64(i+1) })
+	}
+	if st1.Checkpoints() == 0 {
+		t.Fatalf("no checkpoint after %d reconciles with CheckpointEvery=4", len(toggles))
+	}
+	before := m1.Status()
+	m1.Stop()
+	if err := m1.FlushState(); err != nil {
+		t.Fatal(err)
+	}
+	if st1.Pending() != 0 {
+		t.Fatalf("%d WAL records pending after FlushState, want 0", st1.Pending())
+	}
+
+	m2, _, _ := newStoredMedic(t, dir, &recorder{}, nil)
+	after := m2.Status()
+	if after.Epoch != before.Epoch+1 {
+		t.Fatalf("epoch after checkpointed restart = %d, want %d", after.Epoch, before.Epoch+1)
+	}
+	mustJSONEqual(t, "mapping", before.Mapping, after.Mapping)
+	if len(after.Failed) != 2 || after.Failed[0] != 3 || after.Failed[1] != 4 {
+		t.Fatalf("Failed = %v, want [3 4]", after.Failed)
+	}
+}
+
+// TestGuardedStoreDegradesNotFatal: a medic whose store guard refuses every
+// write (the deposed-leader path) keeps reconciling — recovery outranks
+// journaling — and surfaces the degradation in Status.
+func TestGuardedStoreDegradesNotFatal(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{
+		NoSync: true,
+		Guard:  func() error { return errors.New("lease lost") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = st.Close() })
+	dep, flows := testFixture(t)
+	rec := &recorder{}
+	m, err := New(Config{
+		Dep:      dep,
+		Flows:    flows,
+		Addrs:    map[topo.NodeID]string{0: "stubbed"},
+		Pusher:   rec.push,
+		Restorer: rec.restore,
+		Store:    st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := make(chan monitor.Event, 1)
+	m.Start(events)
+	t.Cleanup(m.Stop)
+
+	events <- monitor.Event{Seq: 1, Failed: []int{3}, At: time.Now()}
+	stt := waitStatus(t, m, func(s Status) bool { return s.Converged && s.Epoch == 1 })
+	if stt.PersistFailures == 0 {
+		t.Fatal("guarded store refused every write, yet PersistFailures == 0")
+	}
+	if st.Pending() != 0 {
+		t.Fatalf("guarded store accepted %d records", st.Pending())
+	}
+}
+
+// TestStatusUnderConcurrentReconcile hammers the read surface (Status and
+// the metrics renderer) from many goroutines while the loop reconciles a
+// stream of events — the race detector is the assertion.
+func TestStatusUnderConcurrentReconcile(t *testing.T) {
+	rec := &recorder{}
+	m, events := newTestMedic(t, rec)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sink bytes.Buffer
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := m.Status()
+				if st.Epoch > 0 && st.Events == nil {
+					t.Error("status with nonzero epoch but nil events")
+					return
+				}
+				sink.Reset()
+				_, _ = m.Metrics().WriteTo(&sink)
+				_ = m.Epoch()
+				_ = m.FenceGen()
+			}
+		}()
+	}
+
+	seq := uint64(0)
+	for round := 0; round < 10; round++ {
+		seq++
+		events <- monitor.Event{Seq: seq, Failed: []int{3}, At: time.Now()}
+		seq++
+		events <- monitor.Event{Seq: seq, Recovered: []int{3}, At: time.Now()}
+		m.SetRole("leader", uint64(round+1))
+		waitStatus(t, m, func(s Status) bool { return s.Epoch == seq })
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestEventLogRestoreContinuesSeq: a ring restored from persisted state
+// numbers its next entry after the durable counter — never renumbering
+// from 1 — including when the counter ran ahead of the retained window.
+func TestEventLogRestoreContinuesSeq(t *testing.T) {
+	l := newEventLog(4)
+	for i := 0; i < 10; i++ {
+		l.addf(KindDetect, "entry %d", i)
+	}
+	seq, entries := l.state()
+	if seq != 10 || len(entries) != 4 {
+		t.Fatalf("state = seq %d, %d entries; want 10, 4", seq, len(entries))
+	}
+
+	fresh := newEventLog(4)
+	fresh.restoreRing(seq, entries)
+	fresh.addf(KindResume, "restarted")
+	got := fresh.snapshot()
+	if len(got) != 4 {
+		t.Fatalf("retained %d entries, want 4", len(got))
+	}
+	if got[3].Seq != 11 || got[3].Msg != "restarted" {
+		t.Fatalf("first post-restore entry = %+v, want seq 11", got[3])
+	}
+	if got[0].Msg != "entry 7" {
+		t.Fatalf("oldest retained entry = %q, want the window shifted by one", got[0].Msg)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq != got[i-1].Seq+1 {
+			t.Fatalf("non-monotone seqs after restore: %+v", got)
+		}
+	}
+
+	// A ring smaller than the persisted window keeps the newest entries.
+	small := newEventLog(2)
+	small.restoreRing(seq, entries)
+	small.addf(KindResume, "restarted")
+	got = small.snapshot()
+	if len(got) != 2 || got[1].Seq != 11 || got[0].Seq != 10 {
+		t.Fatalf("small ring restore window wrong: %+v", got)
+	}
+}

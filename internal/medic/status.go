@@ -25,6 +25,8 @@ const (
 	KindRestore   Kind = "restore"   // a returned controller's domain was restored
 	KindFailback  Kind = "failback"  // every controller is back; ideal state
 	KindStale     Kind = "stale"     // a computed plan was discarded unpushed
+	KindResume    Kind = "resume"    // a restarted daemon replayed snapshot+WAL
+	KindFenced    Kind = "fenced"    // a push was refused by generation-ID fencing
 	KindError     Kind = "error"
 )
 
@@ -36,13 +38,19 @@ type LogEntry struct {
 	Msg  string    `json:"msg"`
 }
 
-// eventLog is a bounded ring of LogEntries.
+// eventLog is a bounded ring of LogEntries. The sequence counter is part
+// of the daemon's durable state: restoreRing carries it across restarts so
+// entries are never silently renumbered, and onAppend (when set) persists
+// each new entry to the WAL.
 type eventLog struct {
 	mu      sync.Mutex
 	seq     uint64
 	entries []LogEntry
 	next    int
 	full    bool
+	// onAppend, when set, receives every appended entry after the ring is
+	// updated (outside the ring's lock). The medic wires it to the WAL.
+	onAppend func(LogEntry)
 }
 
 func newEventLog(size int) *eventLog {
@@ -51,13 +59,51 @@ func newEventLog(size int) *eventLog {
 
 func (l *eventLog) addf(kind Kind, format string, args ...interface{}) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	l.seq++
-	l.entries[l.next] = LogEntry{Seq: l.seq, At: time.Now(), Kind: kind, Msg: fmt.Sprintf(format, args...)}
+	e := LogEntry{Seq: l.seq, At: time.Now(), Kind: kind, Msg: fmt.Sprintf(format, args...)}
+	l.entries[l.next] = e
 	l.next = (l.next + 1) % len(l.entries)
 	if l.next == 0 {
 		l.full = true
 	}
+	hook := l.onAppend
+	l.mu.Unlock()
+	if hook != nil {
+		hook(e)
+	}
+}
+
+// restoreRing reloads the ring from persisted state: the retained entries
+// (oldest first, trimmed to the ring's capacity) and the monotonic
+// sequence counter, so the first post-restart entry continues the
+// numbering instead of starting over at 1.
+func (l *eventLog) restoreRing(seq uint64, entries []LogEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	size := len(l.entries)
+	if len(entries) > size {
+		entries = entries[len(entries)-size:]
+	}
+	for i := range l.entries {
+		l.entries[i] = LogEntry{}
+	}
+	copy(l.entries, entries)
+	l.next = len(entries) % size
+	l.full = len(entries) == size
+	l.seq = seq
+	// A durable seq can never run behind the restored entries.
+	if n := len(entries); n > 0 && entries[n-1].Seq > l.seq {
+		l.seq = entries[n-1].Seq
+	}
+}
+
+// state snapshots the ring for a checkpoint: the sequence counter and the
+// retained entries, oldest first.
+func (l *eventLog) state() (uint64, []LogEntry) {
+	l.mu.Lock()
+	seq := l.seq
+	l.mu.Unlock()
+	return seq, l.snapshot()
 }
 
 // snapshot returns the retained entries, oldest first.
@@ -90,6 +136,11 @@ type FlowProg struct {
 type Status struct {
 	Now   time.Time `json:"now"`
 	Epoch uint64    `json:"epoch"`
+	// Replica, Role, and Term identify this daemon in an HA deployment
+	// (SetRole); empty when running standalone.
+	Replica string `json:"replica,omitempty"`
+	Role    string `json:"role,omitempty"`
+	Term    uint64 `json:"term,omitempty"`
 	// Failed is the controller set currently believed down.
 	Failed []int `json:"failed_controllers"`
 	// Ideal reports the steady state: nothing failed, ideal mapping in
@@ -118,6 +169,10 @@ type Status struct {
 	// (present when the medic is wired to a Network).
 	NetworkMapping []int `json:"network_mapping,omitempty"`
 
+	// PersistFailures counts store writes that failed since startup;
+	// nonzero means durability is degraded.
+	PersistFailures uint64 `json:"persist_failures,omitempty"`
+
 	Events   []LogEntry            `json:"events"`
 	Detector []monitor.TargetState `json:"detector,omitempty"`
 }
@@ -128,12 +183,24 @@ func (m *Medic) Status() Status {
 	m.mu.Lock()
 	snap := m.snap
 	st := Status{
-		Now:       time.Now(),
-		Epoch:     m.epoch,
-		Ideal:     snap.ideal,
-		Converged: snap.converged,
-		Case:      snap.label,
-		Restores:  snap.restores,
+		Now:             time.Now(),
+		Epoch:           m.epoch,
+		Replica:         m.cfg.ReplicaID,
+		Role:            m.role,
+		Term:            m.term,
+		Ideal:           snap.Ideal,
+		Converged:       snap.Converged,
+		Case:            snap.Label,
+		Restores:        snap.Restores,
+		MinProg:         snap.MinProg,
+		TotalProg:       snap.TotalProg,
+		RecoveredFlows:  snap.RecoveredFlows,
+		OfflineFlows:    snap.OfflineFlows,
+		PushRounds:      snap.PushRounds,
+		FlowModsAcked:   snap.FlowModsAcked,
+		Mapping:         snap.Mapping,
+		FlowProg:        snap.FlowProg,
+		PersistFailures: m.persistFailures,
 	}
 	for j := range m.failed {
 		st.Failed = append(st.Failed, j)
@@ -147,30 +214,6 @@ func (m *Medic) Status() Status {
 	if st.Failed == nil {
 		st.Failed = []int{}
 	}
-
-	if snap.inst != nil && snap.report != nil {
-		inst, rep := snap.inst, snap.report
-		st.MinProg = rep.Achieved.MinProg
-		st.TotalProg = rep.Achieved.TotalProg
-		st.RecoveredFlows = rep.Achieved.RecoveredFlows
-		st.OfflineFlows = inst.OfflineFlowCount()
-		st.PushRounds = rep.Rounds
-		st.FlowModsAcked = rep.FlowModsAcked
-		for i, jj := range rep.Final.SwitchController {
-			e := MappingEntry{Switch: inst.Switches[i], Controller: -1}
-			if jj >= 0 {
-				e.Controller = inst.Active[jj]
-			}
-			st.Mapping = append(st.Mapping, e)
-		}
-		for l, prog := range rep.Achieved.FlowProg {
-			st.FlowProg = append(st.FlowProg, FlowProg{Flow: inst.FlowIDs[l], Prog: prog})
-		}
-		for _, lid := range inst.Unrecoverable {
-			st.FlowProg = append(st.FlowProg, FlowProg{Flow: lid, Prog: 0})
-		}
-		sort.Slice(st.FlowProg, func(a, b int) bool { return st.FlowProg[a].Flow < st.FlowProg[b].Flow })
-	}
 	if m.cfg.Net != nil {
 		st.NetworkMapping = m.cfg.Net.MappingSnapshot()
 	}
@@ -182,6 +225,7 @@ func (m *Medic) Status() Status {
 //
 //	GET /status  — the full Status JSON (detector state included when a
 //	               monitor is attached)
+//	GET /metrics — the daemon's metrics in Prometheus text format
 //	GET /healthz — liveness of the daemon process itself
 //
 // mon may be nil.
@@ -196,6 +240,10 @@ func Handler(m *Medic, mon *monitor.Monitor) http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(st)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = m.metrics.WriteTo(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		_, _ = fmt.Fprintln(w, "ok")

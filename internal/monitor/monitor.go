@@ -211,6 +211,28 @@ func (m *Monitor) Stop() {
 	})
 }
 
+// MarkDown seeds targets as already down before Start — the detector-state
+// handoff on daemon failover. A successor daemon that restored a failure
+// set from the shared store marks those targets down so the fresh detector
+// does not re-announce failures the previous leader already reconciled
+// (which would burn an epoch and a redundant push), while a probe success
+// on a marked target still emits the recovery event. Calling MarkDown
+// after Start has no effect on already-running probe loops' past output.
+func (m *Monitor) MarkDown(ids ...int) {
+	down := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		down[id] = true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, t := range m.targets {
+		if down[t.ID] {
+			t.state.Up = false
+			t.state.ConsecutiveMisses = m.cfg.Threshold
+		}
+	}
+}
+
 // State snapshots every target's detector-side view, in target order.
 func (m *Monitor) State() []TargetState {
 	m.mu.Lock()
@@ -281,10 +303,15 @@ func (m *Monitor) record(t *target, err error) {
 // last saw, so a flap inside the window cancels instead of emitting.
 func (m *Monitor) coalesce() {
 	defer m.wg.Done()
+	// reported starts from each target's current view, not a blanket "up":
+	// targets seeded down by MarkDown (failover handoff) must not emit a
+	// failure event for a failure the consumer already knows about.
 	reported := make(map[int]bool, len(m.targets))
+	m.mu.Lock()
 	for _, t := range m.targets {
-		reported[t.ID] = true
+		reported[t.ID] = t.state.Up
 	}
+	m.mu.Unlock()
 	pending := make(map[int]bool)
 	var (
 		timer  *time.Timer

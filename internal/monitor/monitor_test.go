@@ -208,3 +208,41 @@ func TestStopClosesEventStream(t *testing.T) {
 		}
 	}
 }
+
+// TestMarkDownHandsOffDetectorState covers the failover handoff: a
+// successor daemon seeds its detector with the failure set restored from
+// the shared store. Targets marked down must not re-announce their failure
+// (the predecessor already reconciled it), but their recovery must still be
+// detected and emitted.
+func TestMarkDownHandsOffDetectorState(t *testing.T) {
+	fleet := newFakeFleet("a", "b")
+	fleet.set("a", false) // target 0 is genuinely down at takeover
+	m := New([]Target{{ID: 0, Addr: "a"}, {ID: 1, Addr: "b"}}, fastConfig(fleet.probe))
+	m.MarkDown(0)
+	m.Start()
+	defer m.Stop()
+
+	// No duplicate failure event for the known-down target.
+	select {
+	case ev := <-m.Events():
+		t.Fatalf("unexpected %v for a handed-off failure", ev)
+	case <-time.After(150 * time.Millisecond):
+	}
+	st := m.State()
+	if st[0].Up {
+		t.Fatal("marked-down target reported up without a successful probe")
+	}
+	if st[0].Failures != 0 {
+		t.Fatalf("handed-off target counted %d fresh failures", st[0].Failures)
+	}
+	if !st[1].Up {
+		t.Fatalf("healthy target flipped: %+v", st[1])
+	}
+
+	// Its recovery is still detected as a normal event.
+	fleet.set("a", true)
+	ev := waitEvent(t, m, 5*time.Second)
+	if len(ev.Recovered) != 1 || ev.Recovered[0] != 0 || len(ev.Failed) != 0 {
+		t.Fatalf("event = %v, want recovery of target 0", ev)
+	}
+}

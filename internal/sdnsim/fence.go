@@ -1,0 +1,103 @@
+package sdnsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"pmedic/internal/openflow"
+	"pmedic/internal/topo"
+)
+
+// ErrFenced reports a wire operation refused by OpenFlow generation-ID
+// fencing: the switch has already accepted a claim from a newer epoch (a
+// newer leader), and honoring this one would hand the switch back to a
+// deposed controller.
+var ErrFenced = errors.New("sdnsim: fenced by a newer generation")
+
+// FenceResult reports one agent's response to a fencing sweep.
+type FenceResult struct {
+	Switch topo.NodeID
+	// Fenced is true when the agent accepted the claim (its generation is
+	// now at least the asserted one).
+	Fenced bool
+	Err    error
+}
+
+// FenceAgents stamps gen onto every agent as a Master claim, in switch
+// order with opts.Concurrency workers. A freshly elected leader calls it
+// with the bottom of its first epoch's generation range before reconciling:
+// once the sweep returns, any in-flight push signed by a lower generation —
+// the deposed leader's — is refused by the agents (ErrCodeRoleStale on the
+// wire, ErrFenced in the driver).
+//
+// fenced counts the agents that accepted. An agent that reports the claim
+// itself as stale (its generation is already higher) yields ErrFenced for
+// that switch — the caller has itself been superseded. Unreachable agents
+// yield their dial errors; the sweep continues past them, since fencing an
+// agent nobody can reach is moot.
+func FenceAgents(addrs map[topo.NodeID]string, gen uint64, opts PushOptions) (fenced int, results []FenceResult, err error) {
+	opts = opts.withDefaults()
+	switches := make([]topo.NodeID, 0, len(addrs))
+	for sw := range addrs {
+		switches = append(switches, sw)
+	}
+	sort.Slice(switches, func(a, b int) bool { return switches[a] < switches[b] })
+
+	results = make([]FenceResult, len(switches))
+	var wg sync.WaitGroup
+	slots := make(chan struct{}, opts.Concurrency)
+	for i, sw := range switches {
+		wg.Add(1)
+		slots <- struct{}{}
+		go func(i int, sw topo.NodeID) {
+			defer func() {
+				<-slots
+				wg.Done()
+			}()
+			results[i] = fenceOne(opts, addrs[sw], sw, gen)
+		}(i, sw)
+	}
+	wg.Wait()
+
+	var firstErr error
+	for _, r := range results {
+		if r.Fenced {
+			fenced++
+		} else if firstErr == nil {
+			firstErr = fmt.Errorf("switch %d: %w", r.Switch, r.Err)
+		}
+	}
+	return fenced, results, firstErr
+}
+
+// fenceOne claims mastership at gen on one agent.
+func fenceOne(opts PushOptions, addr string, sw topo.NodeID, gen uint64) FenceResult {
+	res := FenceResult{Switch: sw}
+	conn, err := opts.Dial(addr, opts.DialTimeout)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	defer func() { _ = conn.Close() }()
+	conn.SetIOTimeout(opts.IOTimeout)
+	msg, _, err := conn.Request(openflow.RoleRequest{Role: openflow.RoleMaster, GenerationID: gen})
+	if err != nil {
+		var re *openflow.RemoteError
+		if errors.As(err, &re) {
+			if g, ok := re.StaleGeneration(); ok {
+				res.Err = fmt.Errorf("%w: switch %d holds generation %d, asserted %d", ErrFenced, sw, g, gen)
+				return res
+			}
+		}
+		res.Err = err
+		return res
+	}
+	if _, ok := msg.(openflow.RoleReply); !ok {
+		res.Err = fmt.Errorf("sdnsim: fence %d: unexpected %v to role request", sw, msg.MsgType())
+		return res
+	}
+	res.Fenced = true
+	return res
+}

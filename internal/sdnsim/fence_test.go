@@ -1,0 +1,132 @@
+package sdnsim
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"pmedic/internal/flow"
+	"pmedic/internal/topo"
+)
+
+func newGen(v uint64) *atomic.Uint64 {
+	g := &atomic.Uint64{}
+	g.Store(v)
+	return g
+}
+
+// fenceFixture serves agents for the first n switches of the ATT network.
+func fenceFixture(t *testing.T, n int) (map[topo.NodeID]string, []*Agent) {
+	t.Helper()
+	dep, err := topo.ATT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := flow.Generate(dep.Graph, flow.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := New(dep, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make(map[topo.NodeID]string, n)
+	agents := make([]*Agent, 0, n)
+	for _, sw := range net.Switches[:n] {
+		a, err := ServeSwitch(sw, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = a.Close() })
+		addrs[sw.ID] = a.Addr()
+		agents = append(agents, a)
+	}
+	return addrs, agents
+}
+
+func TestFenceAgentsStampsGeneration(t *testing.T) {
+	addrs, agents := fenceFixture(t, 4)
+	fenced, results, err := FenceAgents(addrs, 500, PushOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fenced != len(addrs) {
+		t.Fatalf("fenced %d of %d agents", fenced, len(addrs))
+	}
+	for _, r := range results {
+		if !r.Fenced || r.Err != nil {
+			t.Fatalf("result %+v", r)
+		}
+	}
+	for _, a := range agents {
+		gen, ok := a.GenerationID()
+		if !ok || gen != 500 {
+			t.Fatalf("agent %d at generation %d (set=%v), want 500", a.sw.ID, gen, ok)
+		}
+	}
+}
+
+// TestFenceAgentsRefusesStaleAssertion: a sweep at a generation below what
+// the agents already hold is the deposed leader's view — it must surface
+// ErrFenced, not silently lower anything.
+func TestFenceAgentsRefusesStaleAssertion(t *testing.T) {
+	addrs, agents := fenceFixture(t, 3)
+	if _, _, err := FenceAgents(addrs, 1000, PushOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	fenced, results, err := FenceAgents(addrs, 999, PushOptions{})
+	if fenced != 0 {
+		t.Fatalf("stale sweep fenced %d agents", fenced)
+	}
+	if !errors.Is(err, ErrFenced) {
+		t.Fatalf("err = %v, want ErrFenced", err)
+	}
+	for _, r := range results {
+		if !errors.Is(r.Err, ErrFenced) {
+			t.Fatalf("result %+v, want ErrFenced", r)
+		}
+	}
+	for _, a := range agents {
+		if gen, _ := a.GenerationID(); gen != 1000 {
+			t.Fatalf("agent generation lowered to %d", gen)
+		}
+	}
+}
+
+// TestGenerationLimitFencesResync: a push whose stale-claim resync would
+// cross its GenerationLimit must fail with ErrFenced instead of stealing
+// the switch back from the newer claimant.
+func TestGenerationLimitFencesResync(t *testing.T) {
+	addrs, agents := fenceFixture(t, 1)
+	var sw topo.NodeID
+	for id := range addrs {
+		sw = id
+	}
+	// A newer epoch owns the switch at generation 2000.
+	if _, _, err := FenceAgents(addrs, 2000, PushOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The deposed leader pushes at gen 100 with its epoch's limit 1999:
+	// resync would need gen 2001 > limit, so the attempt is fenced.
+	opts := PushOptions{GenerationID: 100, GenerationLimit: 1999}.withDefaults()
+	sp := switchPush{sw: sw}
+	gen := newGen(opts.GenerationID)
+	_, _, err := pushSwitch(addrs, sp, gen, opts)
+	if !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale push err = %v, want ErrFenced", err)
+	}
+	if g, _ := agents[0].GenerationID(); g != 2000 {
+		t.Fatalf("agent generation moved to %d, want 2000 untouched", g)
+	}
+
+	// The same push without a limit resyncs and succeeds — the pre-HA
+	// within-epoch behavior is unchanged.
+	opts.GenerationLimit = 0
+	if _, _, err := pushSwitch(addrs, sp, newGen(100), opts); err != nil {
+		t.Fatalf("unlimited push failed: %v", err)
+	}
+	if g, _ := agents[0].GenerationID(); g != 2001 {
+		t.Fatalf("agent generation = %d after resync, want 2001", g)
+	}
+}

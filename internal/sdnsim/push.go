@@ -47,6 +47,13 @@ type PushOptions struct {
 	// GenerationID is the first Master generation claimed (default 1). The
 	// driver raises it automatically when an agent reports a stale claim.
 	GenerationID uint64
+	// GenerationLimit, when nonzero, caps that stale-claim
+	// resynchronization: a resync that would have to claim past the limit
+	// fails with ErrFenced instead of retrying. The medic sets it to the
+	// top of the epoch's generation stride, so a push signed by epoch E can
+	// never steal a switch back from a claim made by epoch E+1 — the
+	// fencing that makes leader failover safe.
+	GenerationLimit uint64
 	// Dial replaces the transport (default: plain TCP via openflow).
 	Dial DialFunc
 	// DisableReplan skips re-planning through core.PM after demotions; the
@@ -495,6 +502,14 @@ func pushSwitch(addrs map[topo.NodeID]string, sp switchPush, gen *atomic.Uint64,
 		var re *openflow.RemoteError
 		if errors.As(err, &re) {
 			if g, ok := re.StaleGeneration(); ok {
+				// Resyncing past the limit would claim into a newer epoch's
+				// generation range: this push has been fenced by a newer
+				// leader (or a newer epoch of our own daemon) and must not
+				// steal the switch back.
+				if opts.GenerationLimit != 0 && int64(g+1-opts.GenerationLimit) > 0 {
+					return res, dirty, fmt.Errorf("%w: switch %d holds generation %d, epoch limit %d",
+						ErrFenced, sp.sw, g, opts.GenerationLimit)
+				}
 				// Lift the driver's generation past the switch's and retry
 				// immediately: the claim itself was fine, only its epoch was
 				// behind.
