@@ -35,20 +35,21 @@ bench:
 bench-diff:
 	$(GO) run ./cmd/benchdiff
 
-# bench-gate re-runs the Fig. 5 sweep benchmarks and the Fig. 7 solver bench
+# bench-gate re-runs the Fig. 5 sweep benchmarks, the Fig. 7 solver bench
 # (which has a fixed branch-&-bound node budget, so its ns/op tracks solver
-# throughput) and fails if any of them regressed by more than 20% ns/op
-# against the newest committed BENCH_<n>.json baseline. CI runs this on every
-# change.
-GATE_BENCHES = BenchmarkFig5|BenchmarkFig7ComputationTime
+# throughput), the hot-path allocation benches (core.PM and warm
+# Context.Build), and the million-flow scale bench, and fails if any of them
+# regressed by more than 20% ns/op — or 10% allocs/op — against the newest
+# committed BENCH_<n>.json baseline. CI runs this on every change.
+GATE_BENCHES = BenchmarkFig5|BenchmarkFig7ComputationTime|BenchmarkAlgorithmPM$$|BenchmarkScenarioContextBuild$$|BenchmarkMillionFlow$$
 
 bench-gate:
 	@base=""; n=1; while [ -e "BENCH_$$n.json" ]; do base="BENCH_$$n.json"; n=$$((n+1)); done; \
 	[ -n "$$base" ] || { echo "bench-gate: no BENCH_<n>.json baseline (run make bench)"; exit 1; }; \
 	new="$$(mktemp)"; trap 'rm -f "$$new"' EXIT; \
 	echo "comparing against $$base"; \
-	$(GO) test -json -run '^$$' -bench '$(GATE_BENCHES)' -benchtime 3x . > "$$new" || exit 1; \
-	$(GO) run ./cmd/benchdiff -gate '$(GATE_BENCHES)' -max-regress 0.20 "$$base" "$$new"
+	$(GO) test -json -run '^$$' -bench '$(GATE_BENCHES)' -benchtime 3x -benchmem . > "$$new" || exit 1; \
+	$(GO) run ./cmd/benchdiff -gate '$(GATE_BENCHES)' -max-regress 0.20 -max-allocs-regress 0.10 "$$base" "$$new"
 
 # profile captures CPU and heap profiles of a pmsim evaluation run into
 # ./profiles; inspect with `go tool pprof profiles/pmsim.cpu.pb.gz`.

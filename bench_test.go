@@ -8,6 +8,7 @@ package pmedic
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -599,6 +600,87 @@ func benchOptScale(b *testing.B, f lp.Factorization) {
 		}
 		if s.Objective <= 0 {
 			b.Fatalf("degenerate relaxation objective %v", s.Objective)
+		}
+	}
+}
+
+// millionFlowFixture is the carrier-scale input: a 1000-node synthetic
+// deployment with ~10⁶ all-pairs flows (999 000 exactly). Generation takes
+// ~30 s, so it is built once and shared; every benchmark iteration still
+// compiles its failure case and solves from scratch.
+var millionFlow struct {
+	once  sync.Once
+	dep   *topo.Deployment
+	flows *flow.Set
+	ctx   *scenario.Context
+	err   error
+}
+
+func millionFlowFixture(b *testing.B) (*topo.Deployment, *flow.Set, *scenario.Context) {
+	b.Helper()
+	millionFlow.once.Do(func() {
+		// Capacity clears the largest pre-failure domain load (~2.49 M flow
+		// traversals at n=1000, m=10) with headroom for recovery.
+		dep, err := topo.Synthetic(1000, 10, 2_600_000)
+		if err != nil {
+			millionFlow.err = err
+			return
+		}
+		flows, err := flow.Generate(dep.Graph, flow.Options{})
+		if err != nil {
+			millionFlow.err = err
+			return
+		}
+		ctx, err := scenario.NewContext(dep, flows)
+		if err != nil {
+			millionFlow.err = err
+			return
+		}
+		millionFlow.dep, millionFlow.flows, millionFlow.ctx = dep, flows, ctx
+	})
+	if millionFlow.err != nil {
+		b.Fatal(millionFlow.err)
+	}
+	return millionFlow.dep, millionFlow.flows, millionFlow.ctx
+}
+
+// BenchmarkMillionFlow times one depth-1 sweep case end to end at million-flow
+// scale: failure-case compilation from the shared context plus a PM solve.
+// This is the tentpole's headline path — the case compiles through the
+// switch→flows CSR index (touching only flows that cross the failed domain)
+// and PM plans over weighted equivalence classes instead of individual flows,
+// which is what keeps the case in the hundreds of milliseconds instead of
+// minutes.
+func BenchmarkMillionFlow(b *testing.B) {
+	_, flows, ctx := millionFlowFixture(b)
+	if flows.Len() != 999_000 {
+		b.Fatalf("flows = %d, want 999000", flows.Len())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst, err := ctx.Build([]int{0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sol, err := core.PM(inst.Problem)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := inst.Evaluate(sol)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.RecoveredFlows == 0 {
+			b.Fatal("no flows recovered at scale")
+		}
+		if i == 0 {
+			classes := inst.Problem.ClassCount()
+			if classes <= 0 {
+				b.Fatalf("instance not class-aggregable (classes=%d)", classes)
+			}
+			b.ReportMetric(float64(inst.Problem.NumFlows), "offline-flows")
+			b.ReportMetric(float64(classes), "classes")
+			b.ReportMetric(float64(inst.Problem.NumFlows)/float64(classes), "flows/class")
 		}
 	}
 }

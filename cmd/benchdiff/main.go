@@ -6,13 +6,17 @@
 //
 //	benchdiff [old.json new.json]
 //	benchdiff -gate 'BenchmarkFig5' -max-regress 0.20 old.json new.json
+//	benchdiff -gate '...' -max-allocs-regress 0.10 old.json new.json
 //
 // With no positional arguments it discovers the two newest BENCH_<n>.json
 // baselines in the current directory (highest n = new). With -gate, any
 // benchmark whose name matches the regexp and whose ns/op regressed by more
 // than -max-regress exits nonzero — the CI perf gate. When either stream was
-// collected with -benchmem, B/op and allocs/op columns are shown as well
-// (informational only; the gate stays on ns/op).
+// collected with -benchmem, B/op and allocs/op columns are shown as well;
+// with -max-allocs-regress >= 0, gated benchmarks where both streams carry
+// memory stats additionally fail on allocs/op regressions beyond that
+// fraction (plus one alloc of absolute slack, since pooled paths can differ
+// by a stray warm-up allocation between runs).
 package main
 
 import (
@@ -40,6 +44,7 @@ func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	gate := fs.String("gate", "", "regexp of benchmarks that must not regress")
 	maxRegress := fs.Float64("max-regress", 0.20, "allowed ns/op regression for gated benchmarks (fraction)")
+	maxAllocsRegress := fs.Float64("max-allocs-regress", -1, "allowed allocs/op regression for gated benchmarks (fraction; negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -126,9 +131,21 @@ func run(args []string, out *os.File) error {
 		default:
 			delta := (n.ns - o.ns) / o.ns
 			mark := ""
-			if gateRe != nil && gateRe.MatchString(name) && delta > *maxRegress {
-				mark = "  REGRESSED"
-				regressed = append(regressed, name)
+			if gateRe != nil && gateRe.MatchString(name) {
+				if delta > *maxRegress {
+					mark = "  REGRESSED"
+					regressed = append(regressed, name)
+				}
+				// The allocs gate tolerates one alloc of absolute slack:
+				// pooled solver paths legitimately differ by a stray warm-up
+				// allocation between runs.
+				if *maxAllocsRegress >= 0 && o.hasMem && n.hasMem &&
+					n.allocs > o.allocs*(1+*maxAllocsRegress)+1 {
+					if mark == "" {
+						mark = "  REGRESSED(allocs)"
+						regressed = append(regressed, name)
+					}
+				}
 			}
 			fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%+.1f%%%s\t%s\n", name, o.ns, n.ns, 100*delta, mark, memCols(o, n, true, true))
 		}
@@ -192,9 +209,10 @@ type result struct {
 }
 
 // benchLine matches a benchmark result, tolerating a -<GOMAXPROCS> name
-// suffix so baselines from machines with different core counts compare, and
+// suffix so baselines from machines with different core counts compare,
+// custom ReportMetric columns between ns/op and the memory stats, and
 // optional -benchmem columns.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:.*?\s([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
 
 // parseBenchJSON extracts name -> result from a `go test -json` stream.
 // test2json fragments long lines across several output events, so the

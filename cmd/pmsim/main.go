@@ -8,6 +8,11 @@
 //
 //	pmsim [-scenario 1|2|3|all] [-skip-optimal] [-opt-time 60s] [-opt-workers n]
 //	      [-lambda 0.001] [-workers n] [-cpuprofile f] [-memprofile f]
+//
+// With -scale n it instead runs a synthetic-deployment smoke at n switches:
+// a depth-1 sweep with the fast heuristics over all-pairs traffic, printing
+// per-case equivalence-class compression (the class-aggregated solver path is
+// the one under test). CI runs `pmsim -scale 100` as a smoke check.
 package main
 
 import (
@@ -59,6 +64,7 @@ func run(args []string, out io.Writer) (err error) {
 	slack := fs.Int("slack", 0, "path-count hop slack (0 = default)")
 	csvDir := fs.String("csv", "", "also write each figure panel as CSV into this directory")
 	workers := fs.Int("workers", 0, "concurrent failure cases per sweep (0 = one per CPU, 1 = sequential)")
+	scale := fs.Int("scale", 0, "run a synthetic scale smoke at this many switches instead of the paper figures")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -81,6 +87,9 @@ func run(args []string, out io.Writer) (err error) {
 		slack:       *slack,
 		csvDir:      *csvDir,
 		workers:     *workers,
+	}
+	if *scale > 0 {
+		return runScale(out, *scale)
 	}
 	switch *scenarioFlag {
 	case "all":
@@ -120,6 +129,93 @@ func run(args []string, out io.Writer) (err error) {
 			}
 		}
 	}
+	return nil
+}
+
+// runScale is the -scale smoke: a deterministic n-switch synthetic deployment
+// with all-pairs traffic, swept at depth 1 with the fast heuristics. It prints
+// the equivalence-class compression of every case — the class-aggregated
+// solver path the million-flow benchmark exercises — and fails loudly if any
+// case cannot be solved or recovers nothing.
+func runScale(out io.Writer, n int) error {
+	const m = 8
+	start := time.Now()
+	// Synthetic needs the controller capacity up front, but the right value
+	// depends on the workload. The graph is deterministic in n, so: build once
+	// with a placeholder, generate the flows, size capacity off the largest
+	// pre-failure domain load, and rebuild the deployment around it.
+	dep, err := topo.Synthetic(n, m, 1)
+	if err != nil {
+		return err
+	}
+	flows, err := flow.Generate(dep.Graph, flow.Options{})
+	if err != nil {
+		return err
+	}
+	maxLoad := 0
+	for _, c := range dep.Controllers {
+		load := 0
+		for _, sw := range c.Domain {
+			load += flows.SwitchFlowCount(sw)
+		}
+		if load > maxLoad {
+			maxLoad = load
+		}
+	}
+	capacity := maxLoad + maxLoad/2 + 1
+	if dep, err = topo.Synthetic(n, m, capacity); err != nil {
+		return err
+	}
+	sctx, err := scenario.NewContext(dep, flows)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "scale smoke: %d switches, %d controllers (capacity %d), %d flows [setup %s]\n\n",
+		n, m, capacity, flows.Len(), time.Since(start).Round(time.Millisecond))
+
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "CASE\tOFFLINE FLOWS\tCLASSES\tFLOWS/CLASS\tPM PROG\tRETROFLOW PROG\tPG PROG\tPM TIME\n")
+	for j := 0; j < m; j++ {
+		inst, err := sctx.Build([]int{j})
+		if err != nil {
+			return fmt.Errorf("case {%d}: %w", j, err)
+		}
+		classes := inst.Problem.ClassCount()
+		if classes <= 0 {
+			return fmt.Errorf("case {%d}: not class-aggregable (classes=%d)", j, classes)
+		}
+		prog := make(map[string]int, 3)
+		var pmTime time.Duration
+		for _, alg := range []struct {
+			name string
+			run  func(*core.Problem) (*core.Solution, error)
+		}{{"PM", core.PM}, {"RetroFlow", core.RetroFlow}, {"PG", core.PG}} {
+			sol, err := alg.run(inst.Problem)
+			if err != nil {
+				return fmt.Errorf("case {%d}: %s: %w", j, alg.name, err)
+			}
+			rep, err := inst.Evaluate(sol)
+			if err != nil {
+				return fmt.Errorf("case {%d}: %s: %w", j, alg.name, err)
+			}
+			if rep.RecoveredFlows == 0 {
+				return fmt.Errorf("case {%d}: %s recovered no flows", j, alg.name)
+			}
+			prog[alg.name] = rep.TotalProg
+			if alg.name == "PM" {
+				pmTime = sol.Runtime
+			}
+		}
+		fmt.Fprintf(w, "{%d}\t%d\t%d\t%.1f\t%d\t%d\t%d\t%s\n",
+			j, inst.Problem.NumFlows, classes,
+			float64(inst.Problem.NumFlows)/float64(classes),
+			prog["PM"], prog["RetroFlow"], prog["PG"],
+			pmTime.Round(10*time.Microsecond))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nscale smoke passed in %s\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math/bits"
+	"slices"
+)
+
+// classIndex partitions a finalized Problem's flows into equivalence classes:
+// two flows are equivalent when their eligible-pair signatures — the sequence
+// of (switch, p̄) in switch-ascending order — are identical. Equivalent flows
+// are interchangeable for PM and PG: every decision the heuristics take about
+// a flow reads only its signature and its per-flow recovery state, never its
+// identity, except through iteration order. The aggregated solver paths
+// (pm_agg.go, pg_agg.go) therefore plan over classes and only fall back to
+// individual copies where iteration order becomes observable (a capacity
+// limit cutting a class mid-way), which is what collapses ~10⁶ all-pairs
+// flows to the ~10³–10⁴ distinct signatures a carrier-scale failure case
+// actually has.
+//
+// Bit t of a class refers to template pair t; for member flow l the concrete
+// pair index is flowPairs[flowPairOff[l]+t] (a flow's pairs are stored
+// switch-ascending, matching the template order).
+type classIndex struct {
+	numClasses int
+	// classOf[l] is flow l's class.
+	classOf []int32
+	// members lists flow indices grouped by class, ascending flow ID within
+	// each class: members[memberOff[c]:memberOff[c+1]].
+	members   []int32
+	memberOff []int32
+	// tmplSwitch/tmplPBar hold each class's pair template, flat:
+	// tmplOff[c]:tmplOff[c+1]. Template switches are strictly ascending
+	// (a simple path meets each offline switch at most once).
+	tmplSwitch []int32
+	tmplPBar   []int32
+	tmplOff    []int32
+}
+
+// maxClassPairs bounds per-flow pair counts for aggregation: class state is a
+// uint64 bitset over the template pairs.
+const maxClassPairs = 64
+
+// classIndexUnusable is the cached sentinel for problems that cannot be
+// aggregated.
+var classIndexUnusable = &classIndex{numClasses: -1}
+
+// classIndexOf returns the problem's class index, computing and caching it on
+// first use, or nil when the problem cannot be aggregated (some flow has more
+// than maxClassPairs pairs). The first call is not safe for concurrent use;
+// every current caller solves a Problem from a single goroutine at a time
+// (the sweep engine parallelizes across Problems, not within one).
+func (p *Problem) classIndexOf() *classIndex {
+	if p.classes != nil {
+		if p.classes.numClasses < 0 {
+			return nil
+		}
+		return p.classes
+	}
+	L := p.NumFlows
+	for l := 0; l < L; l++ {
+		if p.flowPairOff[l+1]-p.flowPairOff[l] > maxClassPairs {
+			p.classes = classIndexUnusable
+			return nil
+		}
+	}
+
+	// Group flows by signature: sort flow IDs by (signature hash, signature,
+	// flow ID) and cut runs of equal signatures. The hash front-loads almost
+	// every comparison into one integer compare; the full lexicographic
+	// compare only breaks the rare collisions, keeping the grouping exact.
+	hash := make([]uint64, L)
+	for l := 0; l < L; l++ {
+		h := uint64(1469598103934665603)
+		for _, k := range p.PairsOfFlow(l) {
+			pr := &p.Pairs[k]
+			h = (h ^ uint64(pr.Switch)) * 1099511628211
+			h = (h ^ uint64(pr.PBar)) * 1099511628211
+		}
+		hash[l] = h
+	}
+	sigCmp := func(a, b int32) int {
+		ka, kb := p.PairsOfFlow(int(a)), p.PairsOfFlow(int(b))
+		if len(ka) != len(kb) {
+			return len(ka) - len(kb)
+		}
+		for t := range ka {
+			pa, pb := &p.Pairs[ka[t]], &p.Pairs[kb[t]]
+			if pa.Switch != pb.Switch {
+				return pa.Switch - pb.Switch
+			}
+			if pa.PBar != pb.PBar {
+				return pa.PBar - pb.PBar
+			}
+		}
+		return 0
+	}
+	order := make([]int32, L)
+	for l := range order {
+		order[l] = int32(l)
+	}
+	slices.SortFunc(order, func(a, b int32) int {
+		if hash[a] != hash[b] {
+			if hash[a] < hash[b] {
+				return -1
+			}
+			return 1
+		}
+		if c := sigCmp(a, b); c != 0 {
+			return c
+		}
+		return int(a - b)
+	})
+
+	ci := &classIndex{
+		classOf:   make([]int32, L),
+		members:   order,
+		memberOff: make([]int32, 1, L+1),
+		tmplOff:   make([]int32, 1, L+1),
+	}
+	for idx := 0; idx < L; {
+		run := idx + 1
+		for run < L && hash[order[run]] == hash[order[idx]] && sigCmp(order[run], order[idx]) == 0 {
+			run++
+		}
+		c := int32(ci.numClasses)
+		for _, l := range order[idx:run] {
+			ci.classOf[l] = c
+		}
+		for _, k := range p.PairsOfFlow(int(order[idx])) {
+			ci.tmplSwitch = append(ci.tmplSwitch, int32(p.Pairs[k].Switch))
+			ci.tmplPBar = append(ci.tmplPBar, int32(p.Pairs[k].PBar))
+		}
+		ci.memberOff = append(ci.memberOff, int32(run))
+		ci.tmplOff = append(ci.tmplOff, int32(len(ci.tmplSwitch)))
+		ci.numClasses++
+		idx = run
+	}
+	p.classes = ci
+	return ci
+}
+
+// ClassCount returns the number of flow equivalence classes of a finalized
+// problem, or -1 when the problem cannot be class-aggregated (some flow has
+// more than 64 eligible pairs). It is a diagnostic for scale reporting —
+// compression factor is NumFlows / ClassCount — and shares the solvers'
+// cached index.
+func (p *Problem) ClassCount() int {
+	ci := p.classIndexOf()
+	if ci == nil {
+		return -1
+	}
+	return ci.numClasses
+}
+
+// numPairs returns the template length of class c.
+func (ci *classIndex) numPairs(c int32) int {
+	return int(ci.tmplOff[c+1] - ci.tmplOff[c])
+}
+
+// template returns class c's (switch, p̄) template slices.
+func (ci *classIndex) template(c int32) (sw, pbar []int32) {
+	lo, hi := ci.tmplOff[c], ci.tmplOff[c+1]
+	return ci.tmplSwitch[lo:hi], ci.tmplPBar[lo:hi]
+}
+
+// pairOf returns the concrete pair index of template bit t for member flow l.
+func (p *Problem) pairOf(l int32, t int32) int {
+	return p.flowPairs[p.flowPairOff[l]+int32(t)]
+}
+
+// maskProg returns the programmability a member of class c holds under the
+// given activation mask: Σ p̄ over set template bits.
+func (ci *classIndex) maskProg(c int32, mask uint64) int32 {
+	_, pbar := ci.template(c)
+	var h int32
+	for m := mask; m != 0; m &= m - 1 {
+		h += pbar[bits.TrailingZeros64(m)]
+	}
+	return h
+}

@@ -21,10 +21,22 @@ import (
 // controller with the most residual capacity — the middle layer decouples
 // placement from delay, which is also why PG's per-flow overhead is the
 // worst of the compared algorithms.
+//
+// Like PM, PG has a per-flow path (pgFlat) and a byte-identical
+// class-aggregated path (pg_agg.go) selected for large compressible
+// instances.
 func PG(p *Problem) (*Solution, error) {
 	if !p.finalized() {
 		return nil, fmt.Errorf("%w: problem not finalized", ErrInvalidProblem)
 	}
+	if ci := p.aggClassIndex(); ci != nil {
+		return pgAgg(p, ci)
+	}
+	return pgFlat(p)
+}
+
+// pgFlat is the per-flow reference implementation of PG.
+func pgFlat(p *Problem) (*Solution, error) {
 	start := time.Now()
 	s := NewSolution("PG", p)
 	s.MiddleLayer = true
@@ -32,10 +44,12 @@ func PG(p *Problem) (*Solution, error) {
 	for k := range s.PairController {
 		s.PairController[k] = -1
 	}
+	sc := scratchPool.Get().(*solverScratch)
+	defer scratchPool.Put(sc)
 
-	rest := make([]int, p.NumControllers)
+	rest := grabInts(&sc.rest, p.NumControllers)
 	copy(rest, p.Rest)
-	h := make([]int, p.NumFlows)
+	h := grabInts(&sc.h, p.NumFlows)
 
 	maxRestController := func() int {
 		best := -1
@@ -99,7 +113,7 @@ func PG(p *Problem) (*Solution, error) {
 	// Stable counting sort, p̄-descending: p̄ is bounded by the path-count
 	// cap, and the quadratic insertion sort this replaces was PG's hottest
 	// loop across a full figure sweep.
-	inactive := make([]int, 0, len(p.Pairs))
+	inactive := sc.pairScratch[:0]
 	maxPBar := 0
 	for k := range p.Pairs {
 		if s.Active[k] {
@@ -110,14 +124,15 @@ func PG(p *Problem) (*Solution, error) {
 			maxPBar = p.Pairs[k].PBar
 		}
 	}
-	bucket := make([]int, maxPBar+1)
+	sc.pairScratch = inactive
+	bucket := grabInts(&sc.bucket, maxPBar+1)
 	for _, k := range inactive {
 		bucket[p.Pairs[k].PBar]++
 	}
 	for v, acc := maxPBar, 0; v >= 0; v-- {
 		bucket[v], acc = acc, acc+bucket[v]
 	}
-	order := make([]int, len(inactive))
+	order := grabInts(&sc.order, len(inactive))
 	for _, k := range inactive {
 		order[bucket[p.Pairs[k].PBar]] = k
 		bucket[p.Pairs[k].PBar]++

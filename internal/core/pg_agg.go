@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math/bits"
+	"time"
+)
+
+// pgAgg is the class-aggregated implementation of PG. PG's output is
+// inherently per-copy — every activated pair is charged to the
+// argmax-residual controller at its own moment, and PairController records
+// that choice — so activations are always walked copy by copy in global
+// flow-ID order. The aggregation win is everything around them: the floor
+// scan of each phase-1 round touches O(groups) variant groups instead of all
+// L flows, and each copy's best pair comes from its group's mask instead of
+// a per-flow pair scan. Output is byte-identical to pgFlat (agg_test.go).
+func pgAgg(p *Problem, ci *classIndex) (*Solution, error) {
+	start := time.Now()
+	s := NewSolution("PG", p)
+	s.MiddleLayer = true
+	s.PairController = make([]int, len(p.Pairs))
+	for k := range s.PairController {
+		s.PairController[k] = -1
+	}
+	st := newAggState(p, ci)
+	sc := scratchPool.Get().(*solverScratch)
+	defer scratchPool.Put(sc)
+
+	rest := grabInts(&sc.rest, p.NumControllers)
+	copy(rest, p.Rest)
+
+	maxRestController := func() int {
+		best := -1
+		for j := 0; j < p.NumControllers; j++ {
+			if rest[j] > 0 && (best < 0 || rest[j] > rest[best]) {
+				best = j
+			}
+		}
+		return best
+	}
+	// bestBit returns the highest-p̄ unset template bit of (class, mask),
+	// first on ties — PG's bestPair in template order.
+	bestBit := func(c int32, mask uint64) int {
+		_, pbar := ci.template(c)
+		best := -1
+		for t := range pbar {
+			if mask&(1<<uint(t)) != 0 {
+				continue
+			}
+			if best < 0 || pbar[t] > pbar[best] {
+				best = t
+			}
+		}
+		return best
+	}
+
+	// Phase 1: balanced recovery rounds. Floor groups (h == σ with an unset
+	// pair) are walked merged; each copy charges the argmax-rest controller.
+	for {
+		sigma := int32(^uint32(0) >> 1)
+		st.forEachGroup(func(_ int32, g *aggGroup) {
+			if g.h < sigma {
+				sigma = g.h
+			}
+		})
+		progress := false
+		w := newAggWalker(st)
+		st.forEachGroup(func(gid int32, g *aggGroup) {
+			if g.h != sigma || bits.OnesCount64(g.mask) == ci.numPairs(g.class) {
+				return
+			}
+			w.addSource(gid, int32(bestBit(g.class, g.mask)))
+		})
+		w.start()
+		for {
+			flow, gid, bit, pos, ok := w.next()
+			if !ok {
+				break
+			}
+			j := maxRestController()
+			if j < 0 {
+				break
+			}
+			g := &st.groups[gid]
+			rest[j]--
+			k := p.pairOf(flow, bit)
+			s.Active[k] = true
+			s.PairController[k] = j
+			st.addPending(g.class, g.mask|1<<uint(bit), pos)
+			progress = true
+			w.advance(true)
+		}
+		w.finish()
+		if !progress {
+			break
+		}
+	}
+
+	// Phase 2: full utilization, highest p̄ first. The flat counting sort
+	// orders inactive pairs (p̄ desc, switch asc, flow asc); template pairs
+	// bucketed by (p̄, switch) with a merged flow walk per cell reproduce it.
+	type fillCell struct {
+		c, bit, sw, pbar int32
+	}
+	entries := make([]fillCell, 0, len(ci.tmplSwitch))
+	maxPBar := int32(0)
+	for i := 0; i < p.NumSwitches; i++ {
+		for idx := st.swClassOff[i]; idx < st.swClassOff[i+1]; idx++ {
+			c, bit := st.swClass[idx], st.swBit[idx]
+			pbar := ci.tmplPBar[ci.tmplOff[c]+bit]
+			entries = append(entries, fillCell{c, bit, int32(i), pbar})
+			if pbar > maxPBar {
+				maxPBar = pbar
+			}
+		}
+	}
+	bucket := grabInts(&sc.bucket, int(maxPBar)+1)
+	for _, e := range entries {
+		bucket[e.pbar]++
+	}
+	for v, acc := int(maxPBar), 0; v >= 0; v-- {
+		bucket[v], acc = acc, acc+bucket[v]
+	}
+	sorted := make([]fillCell, len(entries))
+	for _, e := range entries {
+		sorted[bucket[e.pbar]] = e
+		bucket[e.pbar]++
+	}
+	capacityLeft := true
+	for ei := 0; ei < len(sorted) && capacityLeft; {
+		ej := ei + 1
+		for ej < len(sorted) && sorted[ej].pbar == sorted[ei].pbar && sorted[ej].sw == sorted[ei].sw {
+			ej++
+		}
+		w := newAggWalker(st)
+		for _, e := range sorted[ei:ej] {
+			for gid := st.classHead[e.c]; gid >= 0; gid = st.groups[gid].next {
+				g := &st.groups[gid]
+				if g.count == 0 || g.mask&(1<<uint(e.bit)) != 0 {
+					continue
+				}
+				w.addSource(gid, e.bit)
+			}
+		}
+		w.start()
+		for {
+			flow, gid, bit, pos, ok := w.next()
+			if !ok {
+				break
+			}
+			j := maxRestController()
+			if j < 0 {
+				capacityLeft = false
+				break
+			}
+			g := &st.groups[gid]
+			rest[j]--
+			k := p.pairOf(flow, bit)
+			s.Active[k] = true
+			s.PairController[k] = j
+			st.addPending(g.class, g.mask|1<<uint(bit), pos)
+			w.advance(true)
+		}
+		w.finish()
+		ei = ej
+	}
+
+	s.Runtime = time.Since(start)
+	return s, nil
+}

@@ -9,6 +9,12 @@ import (
 // balanced recovery of the least-programmable flows followed by a final pass
 // that spends leftover controller capacity on total programmability.
 //
+// Two implementations share this entry point and produce byte-identical
+// Solutions: the per-flow path (pmFlat, this file) and the class-aggregated
+// path (pm_agg.go), which plans over flow equivalence classes and is chosen
+// for large instances whose flows compress well (classes.go). The agg ≡ flat
+// equivalence is enforced by the randomized property test in agg_test.go.
+//
 // The paper's listing leaves two orders unspecified and contains two evident
 // slips; this implementation resolves them as documented in DESIGN.md §7:
 //
@@ -31,20 +37,47 @@ func PM(p *Problem) (*Solution, error) {
 	if !p.finalized() {
 		return nil, fmt.Errorf("%w: problem not finalized", ErrInvalidProblem)
 	}
+	if ci := p.aggClassIndex(); ci != nil {
+		return pmAgg(p, ci)
+	}
+	return pmFlat(p)
+}
+
+// aggMinFlows is the instance size below which aggregation cannot pay for
+// its class-index and group bookkeeping.
+const aggMinFlows = 1024
+
+// aggClassIndex returns the class index when the aggregated solver paths
+// should run: enough flows to matter and at least 2× signature compression.
+func (p *Problem) aggClassIndex() *classIndex {
+	if p.NumFlows < aggMinFlows {
+		return nil
+	}
+	ci := p.classIndexOf()
+	if ci == nil || ci.numClasses*2 > p.NumFlows {
+		return nil
+	}
+	return ci
+}
+
+// pmFlat is the per-flow reference implementation of PM.
+func pmFlat(p *Problem) (*Solution, error) {
 	start := time.Now()
 	s := NewSolution("PM", p)
+	sc := scratchPool.Get().(*solverScratch)
+	defer scratchPool.Put(sc)
 
-	rest := make([]int, p.NumControllers)
+	rest := grabInts(&sc.rest, p.NumControllers)
 	copy(rest, p.Rest)
-	h := make([]int, p.NumFlows) // temporary programmability per flow
+	h := grabInts(&sc.h, p.NumFlows) // temporary programmability per flow
 	// alternatives[l] counts flow l's not-yet-activated pairs; it drives the
 	// scarcity-first activation order.
-	alternatives := make([]int, p.NumFlows)
+	alternatives := grabInts(&sc.alternatives, p.NumFlows)
 	for _, pr := range p.Pairs {
 		alternatives[pr.Flow]++
 	}
 
-	inTestSet := make([]bool, p.NumSwitches)
+	inTestSet := grabBools(&sc.inTestSet, p.NumSwitches)
 	resetTestSet := func() {
 		for i := range inTestSet {
 			inTestSet[i] = true
@@ -55,8 +88,9 @@ func PM(p *Problem) (*Solution, error) {
 	sigma := 0
 	testCount := 0
 
-	// nearest[i] caches the delay-ascending controller order per switch.
-	nearest := make([][]int, p.NumSwitches)
+	// Pooled nearest-controller cache (delay-ascending order per switch).
+	grabInts(&sc.nearestBuf, p.NumSwitches*p.NumControllers)
+	grabBools(&sc.nearestSet, p.NumSwitches)
 
 	minH := func() int {
 		m := int(^uint(0) >> 1)
@@ -78,7 +112,7 @@ func PM(p *Problem) (*Solution, error) {
 	// decremented (across all of a flow's switches) when an activation lifts
 	// the flow off the floor; trackFloor turns the upkeep off once the
 	// balancing loop is done.
-	floorPairs := make([]int, p.NumSwitches)
+	floorPairs := grabInts(&sc.floorPairs, p.NumSwitches)
 	trackFloor := true
 	rebuildFloor := func() {
 		for i := range floorPairs {
@@ -92,14 +126,7 @@ func PM(p *Problem) (*Solution, error) {
 	}
 	rebuildFloor()
 
-	// usedMs tracks total control propagation overhead. PM is delay-
-	// conscious the way the paper describes — nearest-controller preferences
-	// and delay-aware tie-breaks — but the budget G is not a hard cap for
-	// the heuristic (the paper's own Fig. 5(f) discussion has PM below G in
-	// only 8 of 15 cases); only the exact solver enforces Eq. (14).
-	usedMs := 0.0
 	activate := func(k, j0 int) {
-		usedMs += p.Delay[p.Pairs[k].Switch][j0]
 		l := p.Pairs[k].Flow
 		if trackFloor && h[l] == sigma {
 			// The flow leaves the floor (p̄ >= 2 > 0): every switch hosting
@@ -114,7 +141,7 @@ func PM(p *Problem) (*Solution, error) {
 		s.Active[k] = true
 	}
 
-	scratch := make([]int, 0, 64)
+	scratch := sc.pairScratch[:0]
 	for testCount < p.TotalIterations {
 		// Find the switch hosting the most flows whose programmability still
 		// sits at the current floor σ (lines 5–15).
@@ -137,37 +164,7 @@ func PM(p *Problem) (*Solution, error) {
 		// Map switch i0 to a controller (lines 17–29).
 		j0 := s.SwitchController[i0]
 		if j0 < 0 {
-			if nearest[i0] == nil {
-				nearest[i0] = p.NearestControllers(i0)
-			}
-			for _, j := range nearest[i0] {
-				if rest[j] >= p.Gamma[i0] {
-					j0 = j
-					break
-				}
-			}
-			if j0 < 0 {
-				// No controller can absorb the whole switch (γ flows): try
-				// the nearest one that can absorb its SDN-mode control cost —
-				// the eligible pair count, which is what hybrid routing
-				// actually charges — before falling back to the controller
-				// with the most residual capacity (line 26).
-				for _, j := range nearest[i0] {
-					if rest[j] >= p.EligiblePairCount(i0) {
-						j0 = j
-						break
-					}
-				}
-			}
-			if j0 < 0 {
-				best := -1
-				for j := 0; j < p.NumControllers; j++ {
-					if best < 0 || rest[j] > rest[best] {
-						best = j
-					}
-				}
-				j0 = best
-			}
+			j0 = mapSwitchPM(p, sc, rest, i0)
 			s.SwitchController[i0] = j0
 		}
 		inTestSet[i0] = false
@@ -211,6 +208,7 @@ func PM(p *Problem) (*Solution, error) {
 			rebuildFloor()
 		}
 	}
+	sc.pairScratch = scratch
 	trackFloor = false
 
 	// Final pass: spend leftover capacity on total programmability
@@ -225,40 +223,13 @@ func PM(p *Problem) (*Solution, error) {
 		if s.SwitchController[i] >= 0 || p.EligiblePairCount(i) == 0 {
 			continue
 		}
-		if nearest[i] == nil {
-			nearest[i] = p.NearestControllers(i)
-		}
-		j0 := nearest[i][0]
-		for _, j := range nearest[i] {
-			if rest[j] > 0 {
-				j0 = j
-				break
-			}
-		}
-		s.SwitchController[i] = j0
+		s.SwitchController[i] = mapLeftoverSwitch(p, sc, rest, i)
 	}
 
 	// Order pairs PBar-descending with a stable counting sort: p̄ values are
 	// small (bounded by the path-count cap), and sorting all pairs was the
 	// single hottest line of a sweep under a comparison sort.
-	maxPBar := 0
-	for _, pr := range p.Pairs {
-		if pr.PBar > maxPBar {
-			maxPBar = pr.PBar
-		}
-	}
-	bucket := make([]int, maxPBar+1)
-	for _, pr := range p.Pairs {
-		bucket[pr.PBar]++
-	}
-	for v, acc := maxPBar, 0; v >= 0; v-- {
-		bucket[v], acc = acc, acc+bucket[v]
-	}
-	byPBar := make([]int, len(p.Pairs))
-	for k, pr := range p.Pairs {
-		byPBar[bucket[pr.PBar]] = k
-		bucket[pr.PBar]++
-	}
+	byPBar := pairsByPBarDesc(p, sc)
 	for round := 0; round < 64; round++ {
 		for _, k := range byPBar {
 			if s.Active[k] {
@@ -269,8 +240,8 @@ func PM(p *Problem) (*Solution, error) {
 				activate(k, j0)
 			}
 		}
-		moved := rebalance(p, s, rest, &usedMs)
-		upgraded := upgrade(p, s, rest, h, alternatives, &usedMs)
+		moved := rebalanceFlat(p, s, sc, rest)
+		upgraded := upgrade(p, s, rest, h, alternatives)
 		if !moved && !upgraded {
 			break
 		}
@@ -278,7 +249,7 @@ func PM(p *Problem) (*Solution, error) {
 
 	// Unmap switches that ended up with no active pair: mapping them would
 	// consume a controller session for nothing.
-	activeAt := make([]bool, p.NumSwitches)
+	activeAt := grabBools(&sc.activeAt, p.NumSwitches)
 	for k, on := range s.Active {
 		if on {
 			activeAt[p.Pairs[k].Switch] = true
@@ -294,14 +265,76 @@ func PM(p *Problem) (*Solution, error) {
 	return s, nil
 }
 
-// rebalance moves whole switches between controllers when the move lets more
-// of the switch's inactive pairs be funded — or, gain being equal, lowers
-// control delay — keeping the per-switch single-controller mapping and the
-// delay budget. rest and usedMs are updated in place; it reports whether any
-// switch moved.
-func rebalance(p *Problem, s *Solution, rest []int, usedMs *float64) bool {
-	activated := make([]int, p.NumSwitches) // currently charged pairs per switch
-	inactive := make([]int, p.NumSwitches)
+// mapSwitchPM picks the controller for a newly selected switch (Algorithm 1
+// lines 17–29): nearest with capacity for the whole switch (γ flows), else
+// nearest that can absorb its SDN-mode control cost — the eligible pair
+// count, which is what hybrid routing actually charges — else the controller
+// with the most residual capacity (line 26).
+func mapSwitchPM(p *Problem, sc *solverScratch, rest []int, i0 int) int {
+	nearest := sc.nearestRow(p, i0)
+	for _, j := range nearest {
+		if rest[j] >= p.Gamma[i0] {
+			return j
+		}
+	}
+	for _, j := range nearest {
+		if rest[j] >= p.EligiblePairCount(i0) {
+			return j
+		}
+	}
+	best := -1
+	for j := 0; j < p.NumControllers; j++ {
+		if best < 0 || rest[j] > rest[best] {
+			best = j
+		}
+	}
+	return best
+}
+
+// mapLeftoverSwitch maps a switch the balancing loop never selected: the
+// nearest controller with spare capacity, else the nearest outright.
+func mapLeftoverSwitch(p *Problem, sc *solverScratch, rest []int, i int) int {
+	nearest := sc.nearestRow(p, i)
+	j0 := nearest[0]
+	for _, j := range nearest {
+		if rest[j] > 0 {
+			j0 = j
+			break
+		}
+	}
+	return j0
+}
+
+// pairsByPBarDesc orders all pair indices p̄-descending with a stable
+// counting sort into the pooled order buffer: within equal p̄ the (Switch,
+// Flow) ascending order of Pairs is preserved.
+func pairsByPBarDesc(p *Problem, sc *solverScratch) []int {
+	maxPBar := 0
+	for _, pr := range p.Pairs {
+		if pr.PBar > maxPBar {
+			maxPBar = pr.PBar
+		}
+	}
+	bucket := grabInts(&sc.bucket, maxPBar+1)
+	for _, pr := range p.Pairs {
+		bucket[pr.PBar]++
+	}
+	for v, acc := maxPBar, 0; v >= 0; v-- {
+		bucket[v], acc = acc, acc+bucket[v]
+	}
+	byPBar := grabInts(&sc.order, len(p.Pairs))
+	for k, pr := range p.Pairs {
+		byPBar[bucket[pr.PBar]] = k
+		bucket[pr.PBar]++
+	}
+	return byPBar
+}
+
+// rebalanceFlat counts per-switch activated/inactive pairs from the solution
+// and runs the rebalancing loop.
+func rebalanceFlat(p *Problem, s *Solution, sc *solverScratch, rest []int) bool {
+	activated := grabInts(&sc.activated, p.NumSwitches)
+	inactive := grabInts(&sc.inactiveCnt, p.NumSwitches)
 	for k, pr := range p.Pairs {
 		if s.Active[k] {
 			activated[pr.Switch]++
@@ -309,6 +342,15 @@ func rebalance(p *Problem, s *Solution, rest []int, usedMs *float64) bool {
 			inactive[pr.Switch]++
 		}
 	}
+	return rebalanceCore(p, s, rest, activated, inactive)
+}
+
+// rebalanceCore moves whole switches between controllers when the move lets
+// more of the switch's inactive pairs be funded — or, gain being equal,
+// lowers control delay — keeping the per-switch single-controller mapping.
+// activated/inactive hold the per-switch pair counts; rest is updated in
+// place; it reports whether any switch moved.
+func rebalanceCore(p *Problem, s *Solution, rest, activated, inactive []int) bool {
 	anyMoved := false
 	// The move budget guards against ping-pong cycles; gains are strict so
 	// cycles are not expected, but the bound makes termination unconditional.
@@ -339,7 +381,6 @@ func rebalance(p *Problem, s *Solution, rest []int, usedMs *float64) bool {
 			}
 			rest[j] += activated[i]
 			rest[bestJ] -= activated[i]
-			*usedMs += float64(activated[i]) * (p.Delay[i][bestJ] - p.Delay[i][j])
 			s.SwitchController[i] = bestJ
 			moved, anyMoved = true, true
 		}
@@ -347,20 +388,13 @@ func rebalance(p *Problem, s *Solution, rest []int, usedMs *float64) bool {
 	return anyMoved
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // upgrade performs capacity-aware pair swaps: if a flow holds an activated
 // low-p̄ pair while a higher-p̄ pair of the same flow sits inactive at a
 // switch whose controller has room (or at a switch charged to the same
-// controller), swap them — provided the delay budget still holds. Each swap
-// strictly increases total programmability without overloading any
-// controller, so the loop terminates. It reports whether anything changed.
-func upgrade(p *Problem, s *Solution, rest, h, alternatives []int, usedMs *float64) bool {
+// controller), swap them. Each swap strictly increases total programmability
+// without overloading any controller, so the loop terminates. It reports
+// whether anything changed.
+func upgrade(p *Problem, s *Solution, rest, h, alternatives []int) bool {
 	changed := false
 	for l := 0; l < p.NumFlows; l++ {
 		ks := p.PairsOfFlow(l)
@@ -389,7 +423,6 @@ func upgrade(p *Problem, s *Solution, rest, h, alternatives []int, usedMs *float
 			if jNew != jOld && rest[jNew] <= 0 {
 				break
 			}
-			deltaMs := p.Delay[p.Pairs[best].Switch][jNew] - p.Delay[p.Pairs[worst].Switch][jOld]
 			s.Active[worst] = false
 			rest[jOld]++
 			alternatives[l]++
@@ -397,7 +430,6 @@ func upgrade(p *Problem, s *Solution, rest, h, alternatives []int, usedMs *float
 			rest[jNew]--
 			alternatives[l]--
 			h[l] += p.Pairs[best].PBar - p.Pairs[worst].PBar
-			*usedMs += deltaMs
 			changed = true
 		}
 	}

@@ -57,9 +57,19 @@ type Problem struct {
 	// maximum number of offline switches on any offline flow's path.
 	TotalIterations int
 
-	// pairsBySwitch[i] / pairsByFlow[l] index Pairs; built by Finalize.
-	pairsBySwitch [][]int
-	pairsByFlow   [][]int
+	// Pair indexes in CSR form, built by Finalize: switch i's pair indices
+	// are swPairs[swPairOff[i]:swPairOff[i+1]], flow l's are
+	// flowPairs[flowPairOff[l]:flowPairOff[l+1]]. Two flat arrays replace
+	// N+L per-switch/per-flow slices: at 10⁶ flows the per-slice headers and
+	// append regrowth were the dominant Finalize cost.
+	swPairs     []int
+	swPairOff   []int32
+	flowPairs   []int
+	flowPairOff []int32
+
+	// classes caches the flow equivalence-class index used by the aggregated
+	// PM/PG paths; computed lazily by classIndexOf.
+	classes *classIndex
 }
 
 // DefaultLambda is the weight used when Problem.Lambda is zero. A small
@@ -104,8 +114,6 @@ func (p *Problem) Finalize() error {
 			return fmt.Errorf("%w: Rest[%d]=%d", ErrInvalidProblem, j, a)
 		}
 	}
-	p.pairsBySwitch = make([][]int, p.NumSwitches)
-	p.pairsByFlow = make([][]int, p.NumFlows)
 	for k, pr := range p.Pairs {
 		if pr.Switch < 0 || pr.Switch >= p.NumSwitches {
 			return fmt.Errorf("%w: pair %d switch %d", ErrInvalidProblem, k, pr.Switch)
@@ -116,9 +124,34 @@ func (p *Problem) Finalize() error {
 		if pr.PBar < 2 {
 			return fmt.Errorf("%w: pair %d p̄=%d (eligible pairs need p̄ >= 2)", ErrInvalidProblem, k, pr.PBar)
 		}
-		p.pairsBySwitch[pr.Switch] = append(p.pairsBySwitch[pr.Switch], k)
-		p.pairsByFlow[pr.Flow] = append(p.pairsByFlow[pr.Flow], k)
 	}
+	// Build both pair indexes as CSR (counting sort): one counting pass per
+	// axis, prefix sums, one fill pass.
+	p.swPairOff = make([]int32, p.NumSwitches+1)
+	p.flowPairOff = make([]int32, p.NumFlows+1)
+	for _, pr := range p.Pairs {
+		p.swPairOff[pr.Switch+1]++
+		p.flowPairOff[pr.Flow+1]++
+	}
+	for i := 0; i < p.NumSwitches; i++ {
+		p.swPairOff[i+1] += p.swPairOff[i]
+	}
+	for l := 0; l < p.NumFlows; l++ {
+		p.flowPairOff[l+1] += p.flowPairOff[l]
+	}
+	backing := make([]int, 2*len(p.Pairs))
+	p.swPairs, p.flowPairs = backing[:len(p.Pairs):len(p.Pairs)], backing[len(p.Pairs):]
+	swCur := make([]int32, p.NumSwitches)
+	flowCur := make([]int32, p.NumFlows)
+	copy(swCur, p.swPairOff[:p.NumSwitches])
+	copy(flowCur, p.flowPairOff[:p.NumFlows])
+	for k, pr := range p.Pairs {
+		p.swPairs[swCur[pr.Switch]] = k
+		swCur[pr.Switch]++
+		p.flowPairs[flowCur[pr.Flow]] = k
+		flowCur[pr.Flow]++
+	}
+	p.classes = nil
 	if p.Lambda == 0 {
 		p.Lambda = DefaultLambda
 	}
@@ -126,8 +159,8 @@ func (p *Problem) Finalize() error {
 		return fmt.Errorf("%w: Lambda=%v", ErrInvalidProblem, p.Lambda)
 	}
 	if p.TotalIterations == 0 {
-		for l := range p.pairsByFlow {
-			if n := len(p.pairsByFlow[l]); n > p.TotalIterations {
+		for l := 0; l < p.NumFlows; l++ {
+			if n := int(p.flowPairOff[l+1] - p.flowPairOff[l]); n > p.TotalIterations {
 				p.TotalIterations = n
 			}
 		}
@@ -139,20 +172,28 @@ func (p *Problem) Finalize() error {
 }
 
 // finalized reports whether Finalize has run.
-func (p *Problem) finalized() bool { return p.pairsBySwitch != nil }
+func (p *Problem) finalized() bool { return p.swPairOff != nil }
 
 // PairsAtSwitch returns the indices into Pairs of switch i's eligible pairs.
-// The returned slice is shared; callers must not mutate it.
-func (p *Problem) PairsAtSwitch(i int) []int { return p.pairsBySwitch[i] }
+// The returned slice is a view into the shared CSR index; callers must not
+// mutate it.
+func (p *Problem) PairsAtSwitch(i int) []int {
+	return p.swPairs[p.swPairOff[i]:p.swPairOff[i+1]]
+}
 
 // PairsOfFlow returns the indices into Pairs of flow l's eligible pairs.
-// The returned slice is shared; callers must not mutate it.
-func (p *Problem) PairsOfFlow(l int) []int { return p.pairsByFlow[l] }
+// The returned slice is a view into the shared CSR index; callers must not
+// mutate it.
+func (p *Problem) PairsOfFlow(l int) []int {
+	return p.flowPairs[p.flowPairOff[l]:p.flowPairOff[l+1]]
+}
 
 // EligiblePairCount returns the number of eligible pairs at switch i (the
 // maximum SDN-mode control cost the switch can impose on a controller under
 // per-flow mode selection).
-func (p *Problem) EligiblePairCount(i int) int { return len(p.pairsBySwitch[i]) }
+func (p *Problem) EligiblePairCount(i int) int {
+	return int(p.swPairOff[i+1] - p.swPairOff[i])
+}
 
 // NearestControllers returns controller indices sorted by ascending delay
 // from switch i (stable tie-break on controller index): the paper's C(i).

@@ -2,10 +2,20 @@
 // one flow per pair of nodes, forwarded on a shortest path, together with the
 // path-programmability coefficients (β_i^l, p_i^l, p̄_i^l) that drive the
 // FMSSM optimization.
+//
+// The workload is stored in CSR (compressed sparse row) form: all paths live
+// in one flat node array indexed by per-flow offsets, all stops in one flat
+// Stop array sharing those offsets, and a switch→flows index inverts the
+// paths once at generation time. Per-flow Path/Stops slices are views into
+// the flat arrays, so the familiar Flow API costs no per-flow allocations,
+// and per-case consumers (scenario compilation, the daemon's reconcile path)
+// can enumerate exactly the flows crossing a failed domain instead of
+// scanning the whole workload.
 package flow
 
 import (
 	"fmt"
+	"sort"
 
 	"pmedic/internal/graphalg"
 	"pmedic/internal/topo"
@@ -37,7 +47,8 @@ func (s Stop) PBar() int {
 
 // Flow is a unidirectional traffic flow with its forwarding path and the
 // programmability coefficients at every path switch except the destination
-// (the destination cannot reroute the flow).
+// (the destination cannot reroute the flow). Path and Stops are views into
+// the Set's flat CSR arrays; callers must not mutate them.
 type Flow struct {
 	ID       ID
 	Src, Dst topo.NodeID
@@ -86,11 +97,27 @@ func (o Options) withDefaults() Options {
 }
 
 // Set is a generated workload: all flows plus per-switch traversal counts.
+//
+// Storage is CSR: pathArc holds every flow's path back to back (pathOff[l]
+// .. pathOff[l+1] is flow l's slice of it), stopArc the matching stops, and
+// swOff/swFlow the transposed switch→flows index. All arrays are built once
+// by Generate; the exported Flows slice holds views into them.
 type Set struct {
 	Flows []Flow
 	// counts[i] is γ_i: the number of flows whose path includes switch i.
 	counts []int
 	opts   Options
+
+	// pathArc/stopArc are the flat backing arrays of every Flow's Path and
+	// Stops views; pathOff[l] is flow l's start in both (stops are one
+	// shorter per flow, offset by l).
+	pathArc []topo.NodeID
+	stopArc []Stop
+	pathOff []int32
+	// swOff/swFlow list, for each switch i, the IDs of the flows whose path
+	// includes i (ascending): swFlow[swOff[i]:swOff[i+1]].
+	swOff  []int32
+	swFlow []int32
 }
 
 // Generate routes one flow per node pair on a hop-primary/delay-secondary
@@ -122,17 +149,29 @@ func Generate(g *topo.Graph, opts Options) (*Set, error) {
 	for i := range countMemo {
 		countMemo[i] = -1
 	}
+	countVisited := make([]bool, n)
 	countPaths := func(at, dst topo.NodeID) int {
 		key := int(at)*n + int(dst)
 		if c := countMemo[key]; c >= 0 {
 			return c
 		}
 		maxHops := hopsTo[dst][at] + opts.Slack
-		c := graphalg.CountSimplePaths(g, at, dst, maxHops, opts.Limit)
+		c := graphalg.CountSimplePathsPruned(g, at, dst, maxHops, opts.Limit, hopsTo[dst], countVisited)
 		countMemo[key] = c
 		return c
 	}
 
+	// Pass 1: route every pair, appending paths into the flat arc array and
+	// recording offsets. Views are carved out afterwards, once the backing
+	// array has stopped growing.
+	numFlows := n * (n - 1)
+	if opts.Unordered {
+		numFlows = n * (n - 1) / 2
+	}
+	s.pathOff = make([]int32, 1, numFlows+1)
+	s.pathArc = make([]topo.NodeID, 0, 4*numFlows)
+	type endpoints struct{ src, dst topo.NodeID }
+	ends := make([]endpoints, 0, numFlows)
 	for src := 0; src < n; src++ {
 		tree, err := graphalg.Dijkstra(g, topo.NodeID(src), routeWeight)
 		if err != nil {
@@ -145,27 +184,54 @@ func Generate(g *topo.Graph, opts Options) (*Set, error) {
 			if opts.Unordered && dst < src {
 				continue
 			}
-			path, err := tree.PathTo(topo.NodeID(dst))
+			s.pathArc, err = tree.AppendPathTo(s.pathArc, topo.NodeID(dst))
 			if err != nil {
 				return nil, fmt.Errorf("flow: route %d->%d: %w", src, dst, err)
 			}
-			f := Flow{
-				ID:   ID(len(s.Flows)),
-				Src:  topo.NodeID(src),
-				Dst:  topo.NodeID(dst),
-				Path: path,
-			}
-			f.Stops = make([]Stop, 0, len(path)-1)
-			for _, v := range path[:len(path)-1] {
-				f.Stops = append(f.Stops, Stop{
-					Node:      v,
-					PathCount: countPaths(v, topo.NodeID(dst)),
-				})
-			}
-			for _, v := range path {
-				s.counts[v]++
-			}
-			s.Flows = append(s.Flows, f)
+			s.pathOff = append(s.pathOff, int32(len(s.pathArc)))
+			ends = append(ends, endpoints{topo.NodeID(src), topo.NodeID(dst)})
+		}
+	}
+
+	// Pass 2: programmability coefficients for every stop, flat.
+	s.stopArc = make([]Stop, 0, len(s.pathArc)-len(ends))
+	for l := range ends {
+		path := s.pathArc[s.pathOff[l]:s.pathOff[l+1]]
+		dst := ends[l].dst
+		for _, v := range path[:len(path)-1] {
+			s.stopArc = append(s.stopArc, Stop{Node: v, PathCount: countPaths(v, dst)})
+		}
+		for _, v := range path {
+			s.counts[v]++
+		}
+	}
+
+	// Pass 3: flow views into the now-stable backing arrays, and the
+	// switch→flows CSR transpose (a counting sort over the traversal counts).
+	s.Flows = make([]Flow, len(ends))
+	stopOff := int32(0)
+	for l := range ends {
+		lo, hi := s.pathOff[l], s.pathOff[l+1]
+		s.Flows[l] = Flow{
+			ID:    ID(l),
+			Src:   ends[l].src,
+			Dst:   ends[l].dst,
+			Path:  s.pathArc[lo:hi:hi],
+			Stops: s.stopArc[stopOff : stopOff+(hi-lo)-1 : stopOff+(hi-lo)-1],
+		}
+		stopOff += hi - lo - 1
+	}
+	s.swOff = make([]int32, n+1)
+	for i, c := range s.counts {
+		s.swOff[i+1] = s.swOff[i] + int32(c)
+	}
+	s.swFlow = make([]int32, len(s.pathArc))
+	cursor := make([]int32, n)
+	copy(cursor, s.swOff[:n])
+	for l := range s.Flows {
+		for _, v := range s.Flows[l].Path {
+			s.swFlow[cursor[v]] = int32(l)
+			cursor[v]++
 		}
 	}
 	return s, nil
@@ -196,24 +262,50 @@ func (s *Set) TotalTraversals() int {
 	return total
 }
 
+// ForEachFlowThrough calls fn with the ID of every flow whose path includes
+// switch i, in ascending flow order, straight off the switch→flows CSR
+// index. Out-of-range switches have no flows.
+func (s *Set) ForEachFlowThrough(i topo.NodeID, fn func(ID)) {
+	if i < 0 || int(i) >= len(s.counts) {
+		return
+	}
+	for _, l := range s.swFlow[s.swOff[i]:s.swOff[i+1]] {
+		fn(ID(l))
+	}
+}
+
+// AppendFlowsThrough appends the IDs (as int32) of flows traversing any of
+// the given switches to buf — with duplicates when a flow crosses several of
+// them — and returns the extended slice. It is the raw CSR gather behind
+// FlowsThrough; callers that dedupe themselves (scenario compilation) use it
+// to avoid the per-call mark array.
+func (s *Set) AppendFlowsThrough(buf []int32, switches []topo.NodeID) []int32 {
+	for _, sw := range switches {
+		if sw < 0 || int(sw) >= len(s.counts) {
+			continue
+		}
+		buf = append(buf, s.swFlow[s.swOff[sw]:s.swOff[sw+1]]...)
+	}
+	return buf
+}
+
 // FlowsThrough returns the IDs of flows whose path includes any of the given
 // switches, in ascending flow order. It sits on the daemon's reconcile path,
-// so the membership mark is a dense []bool over node IDs rather than a map.
+// so it gathers candidates from the switch→flows CSR index — cost
+// proportional to the traversals of the named switches, not the workload —
+// and dedupes with one sort.
 func (s *Set) FlowsThrough(switches []topo.NodeID) []ID {
-	mark := make([]bool, len(s.counts))
-	for _, sw := range switches {
-		if sw >= 0 && int(sw) < len(mark) {
-			mark[sw] = true
-		}
+	raw := s.AppendFlowsThrough(nil, switches)
+	if len(raw) == 0 {
+		return nil
 	}
-	var out []ID
-	for l := range s.Flows {
-		for _, v := range s.Flows[l].Path {
-			if mark[v] {
-				out = append(out, s.Flows[l].ID)
-				break
-			}
+	sort.Slice(raw, func(a, b int) bool { return raw[a] < raw[b] })
+	out := make([]ID, 0, len(raw))
+	for i, l := range raw {
+		if i > 0 && ID(l) == out[len(out)-1] {
+			continue
 		}
+		out = append(out, ID(l))
 	}
 	return out
 }

@@ -142,6 +142,33 @@ func (t *Tree) PathTo(dst topo.NodeID) ([]topo.NodeID, error) {
 	return rev, nil
 }
 
+// AppendPathTo appends the src→dst node sequence (inclusive of both
+// endpoints) to buf and returns the extended slice. It is the allocation-free
+// sibling of PathTo for callers that concatenate many paths into one flat
+// CSR-style array (internal/flow's workload storage).
+func (t *Tree) AppendPathTo(buf []topo.NodeID, dst topo.NodeID) ([]topo.NodeID, error) {
+	if int(dst) >= len(t.Dist) || dst < 0 {
+		return buf, fmt.Errorf("graphalg: path: destination %d out of range", dst)
+	}
+	if math.IsInf(t.Dist[dst], 1) {
+		return buf, fmt.Errorf("%w: %d -> %d", ErrNoPath, t.Src, dst)
+	}
+	start := len(buf)
+	for v := dst; ; v = t.Parent[v] {
+		buf = append(buf, v)
+		if v == t.Src {
+			break
+		}
+		if t.Parent[v] < 0 {
+			return buf[:start], fmt.Errorf("%w: broken parent chain at %d", ErrNoPath, v)
+		}
+	}
+	for i, j := start, len(buf)-1; i < j; i, j = i+1, j-1 {
+		buf[i], buf[j] = buf[j], buf[i]
+	}
+	return buf, nil
+}
+
 // HopDistances returns BFS hop counts from src (-1 for unreachable nodes).
 func HopDistances(g *topo.Graph, src topo.NodeID) []int {
 	n := g.NumNodes()
@@ -182,6 +209,23 @@ func CountSimplePaths(g *topo.Graph, src, dst topo.NodeID, maxHops, limit int) i
 		return 0
 	}
 	toDst := HopDistances(g, dst)
+	return CountSimplePathsPruned(g, src, dst, maxHops, limit, toDst, make([]bool, n))
+}
+
+// CountSimplePathsPruned is CountSimplePaths with the per-destination BFS hop
+// distances and the visited scratch supplied by the caller. Workload
+// generation counts paths for up to n² (node, destination) pairs and already
+// holds every destination's hop vector, so recomputing a BFS (O(V+E)) per
+// count would dominate the search itself at scale. visited must be all-false
+// on entry and is restored to all-false on return.
+func CountSimplePathsPruned(g *topo.Graph, src, dst topo.NodeID, maxHops, limit int, toDst []int, visited []bool) int {
+	n := g.NumNodes()
+	if src < 0 || int(src) >= n || dst < 0 || int(dst) >= n {
+		return 0
+	}
+	if src == dst {
+		return 0
+	}
 	if toDst[src] < 0 || toDst[src] > maxHops {
 		return 0
 	}
@@ -190,10 +234,11 @@ func CountSimplePaths(g *topo.Graph, src, dst topo.NodeID, maxHops, limit int) i
 		dst:     dst,
 		toDst:   toDst,
 		limit:   limit,
-		visited: make([]bool, n),
+		visited: visited,
 	}
 	c.visited[src] = true
 	c.dfs(src, maxHops)
+	c.visited[src] = false
 	return c.count
 }
 

@@ -512,10 +512,15 @@ func fencedOutcomes(rep *sdnsim.RecoveryReport) int {
 // solving, and the residual solution is translated back into the
 // instance's pair index space.
 func (m *Medic) plan(epoch uint64, inst *scenario.Instance) (*core.Solution, error) {
+	// The common case — nothing demoted — must not allocate: plan runs per
+	// failure event and the map is only needed when a push already failed.
+	var demoted map[topo.NodeID]bool
 	m.mu.Lock()
-	demoted := make(map[topo.NodeID]bool)
 	for _, sw := range inst.Switches {
 		if m.unreachable[sw] {
+			if demoted == nil {
+				demoted = make(map[topo.NodeID]bool, len(inst.Switches))
+			}
 			demoted[sw] = true
 		}
 	}

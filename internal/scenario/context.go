@@ -3,7 +3,9 @@ package scenario
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
+	"sync"
 
 	"pmedic/internal/core"
 	"pmedic/internal/flow"
@@ -87,10 +89,30 @@ func (ctx *Context) MiddleSite() topo.NodeID { return ctx.middleSite }
 // DelayMs returns the shortest-path control delay from a to b in ms.
 func (ctx *Context) DelayMs(a, b topo.NodeID) float64 { return ctx.dist[a][b] }
 
+// buildScratch holds Context.Build's per-case working memory. Instances are
+// recycled through buildPool: the Context is shared by concurrent sweep
+// workers, so the scratch cannot live on the Context itself, and the pool
+// keeps each worker's steady-state case compilation free of the per-case
+// slice/map churn that used to dominate sweep allocation profiles.
+type buildScratch struct {
+	isFailed    []bool
+	switchIndex []int
+	rawFlows    []int32
+	pairs       []core.Pair
+	start       []int
+}
+
+var buildPool = sync.Pool{New: func() any { return new(buildScratch) }}
+
 // Build compiles the failure of the given controllers (indices into
 // Dep.Controllers) into an Instance, reusing the Context's cached state. It
 // produces exactly the Instance that scenario.Build would, case for case and
 // byte for byte; only the shared precomputation is skipped.
+//
+// Candidate flows are enumerated through the workload's switch→flows CSR
+// index — cost proportional to the traffic actually crossing the failed
+// domains — instead of scanning all L flows per case, which is what makes a
+// sweep case at 10⁶ all-pairs flows affordable.
 func (ctx *Context) Build(failed []int) (*Instance, error) {
 	dep, flows := ctx.Dep, ctx.Flows
 	m := len(dep.Controllers)
@@ -100,7 +122,9 @@ func (ctx *Context) Build(failed []int) (*Instance, error) {
 	if len(failed) >= m {
 		return nil, fmt.Errorf("%w: all %d controllers failed", ErrBadCase, m)
 	}
-	isFailed := make([]bool, m)
+	sc := buildPool.Get().(*buildScratch)
+	defer buildPool.Put(sc)
+	isFailed := growBools(&sc.isFailed, m)
 	for _, j := range failed {
 		if j < 0 || j >= m {
 			return nil, fmt.Errorf("%w: controller index %d out of range [0,%d)", ErrBadCase, j, m)
@@ -112,8 +136,10 @@ func (ctx *Context) Build(failed []int) (*Instance, error) {
 	}
 
 	inst := &Instance{Dep: dep, Flows: flows}
-	inst.Failed = append([]int(nil), failed...)
+	inst.Failed = make([]int, 0, len(failed))
+	inst.Failed = append(inst.Failed, failed...)
 	sort.Ints(inst.Failed)
+	inst.Active = make([]int, 0, m-len(failed))
 	for j := 0; j < m; j++ {
 		if !isFailed[j] {
 			inst.Active = append(inst.Active, j)
@@ -121,12 +147,17 @@ func (ctx *Context) Build(failed []int) (*Instance, error) {
 	}
 
 	// Offline switches: the failed controllers' domains, ascending.
+	numOffline := 0
+	for _, j := range inst.Failed {
+		numOffline += len(dep.Controllers[j].Domain)
+	}
+	inst.Switches = make([]topo.NodeID, 0, numOffline)
 	for _, j := range inst.Failed {
 		inst.Switches = append(inst.Switches, dep.Controllers[j].Domain...)
 	}
 	sort.Slice(inst.Switches, func(a, b int) bool { return inst.Switches[a] < inst.Switches[b] })
 	// switchIndex[sw] is the problem index of offline switch sw, or -1.
-	switchIndex := make([]int, dep.Graph.NumNodes())
+	switchIndex := growInts(&sc.switchIndex, dep.Graph.NumNodes())
 	for i := range switchIndex {
 		switchIndex[i] = -1
 	}
@@ -138,14 +169,15 @@ func (ctx *Context) Build(failed []int) (*Instance, error) {
 		NumSwitches:    len(inst.Switches),
 		NumControllers: len(inst.Active),
 	}
-	p.Delay = make([][]float64, p.NumSwitches)
+	// Delay rows are views into one flat backing array — the Problem keeps
+	// the [][]float64 shape its consumers index, for two allocations total.
+	p.Delay = flatMatrix(p.NumSwitches, p.NumControllers)
 	p.Gamma = make([]int, p.NumSwitches)
 	for i, sw := range inst.Switches {
-		row := make([]float64, p.NumControllers)
+		row := p.Delay[i]
 		for jj, j := range inst.Active {
 			row[jj] = ctx.dist[dep.Controllers[j].Site][sw]
 		}
-		p.Delay[i] = row
 		p.Gamma[i] = flows.SwitchFlowCount(sw)
 	}
 
@@ -161,33 +193,35 @@ func (ctx *Context) Build(failed []int) (*Instance, error) {
 		p.Rest[jj] = rest
 	}
 
-	// Offline flows and eligible pairs. Pairs are gathered flow-major (flows
-	// ascending, and within a flow in path order) and then bucketed by switch
-	// below, which yields the (Switch, Flow)-sorted order Finalize expects
-	// without a comparison sort.
-	var pairs []core.Pair
-	for l := range flows.Flows {
-		f := &flows.Flows[l]
-		offline := false
+	// Candidate offline flows: exactly the flows whose path crosses an
+	// offline switch (a flow is offline iff some stop — src included — or
+	// its destination is offline, and all of those are path nodes). The CSR
+	// gather returns them with duplicates; one sort+dedupe restores the
+	// ascending flow order the all-flows scan used to iterate in.
+	raw := flows.AppendFlowsThrough(sc.rawFlows[:0], inst.Switches)
+	sc.rawFlows = raw
+	slices.Sort(raw)
+
+	// Eligible pairs. Pairs are gathered flow-major (flows ascending, and
+	// within a flow in path order) and then bucketed by switch below, which
+	// yields the (Switch, Flow)-sorted order Finalize expects without a
+	// comparison sort.
+	pairs := sc.pairs[:0]
+	inst.FlowIDs = make([]flow.ID, 0, len(raw))
+	for x, lf := range raw {
+		if x > 0 && lf == raw[x-1] {
+			continue
+		}
+		f := &flows.Flows[lf]
 		pairStart := len(pairs)
 		for _, stop := range f.Stops {
 			i := switchIndex[stop.Node]
 			if i < 0 {
 				continue
 			}
-			offline = true
 			if stop.Programmable() {
 				pairs = append(pairs, core.Pair{Switch: i, PBar: stop.PBar()})
 			}
-		}
-		if !offline {
-			// The destination may still be offline even if no stop is.
-			if switchIndex[f.Dst] >= 0 {
-				offline = true
-			}
-		}
-		if !offline {
-			continue
 		}
 		if len(pairs) == pairStart {
 			inst.Unrecoverable = append(inst.Unrecoverable, f.ID)
@@ -199,7 +233,8 @@ func (ctx *Context) Build(failed []int) (*Instance, error) {
 			pairs[k].Flow = flowIdx
 		}
 	}
-	p.Pairs = sortPairsBySwitch(pairs, p.NumSwitches)
+	sc.pairs = pairs
+	p.Pairs = sortPairsBySwitch(pairs, p.NumSwitches, sc)
 	p.NumFlows = len(inst.FlowIDs)
 	if p.NumFlows == 0 {
 		return nil, fmt.Errorf("%w: failure case has no recoverable offline flows", ErrBadCase)
@@ -214,26 +249,62 @@ func (ctx *Context) Build(failed []int) (*Instance, error) {
 	// cached distance vectors of the precomputed centroid site.
 	midDist := ctx.dist[ctx.middleSite]
 	inst.MiddleSite = ctx.middleSite
-	inst.MiddleDelay = make([][]float64, len(inst.Switches))
+	inst.MiddleDelay = flatMatrix(len(inst.Switches), len(inst.Active))
 	for i, sw := range inst.Switches {
-		row := make([]float64, len(inst.Active))
+		row := inst.MiddleDelay[i]
 		for jj, j := range inst.Active {
 			row[jj] = midDist[sw] + midDist[dep.Controllers[j].Site] + FlowVisorProcessingMs
 		}
-		inst.MiddleDelay[i] = row
 	}
 	return inst, nil
+}
+
+// flatMatrix builds an n×m [][]float64 whose rows are views into one flat
+// backing array: two allocations regardless of n.
+func flatMatrix(n, m int) [][]float64 {
+	backing := make([]float64, n*m)
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = backing[i*m : (i+1)*m : (i+1)*m]
+	}
+	return rows
+}
+
+// growInts resizes *buf to n without zeroing (callers initialize).
+func growInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// growBools resizes *buf to n and clears it.
+func growBools(buf *[]bool, n int) []bool {
+	if cap(*buf) < n {
+		*buf = make([]bool, n)
+	}
+	*buf = (*buf)[:n]
+	s := *buf
+	for i := range s {
+		s[i] = false
+	}
+	return s
 }
 
 // sortPairsBySwitch reorders flow-major pairs into (Switch, Flow) ascending
 // order with a counting sort: pairs arrive with flows ascending, and a simple
 // path visits a switch at most once, so stable per-switch bucketing preserves
-// ascending flow order within each switch.
-func sortPairsBySwitch(pairs []core.Pair, numSwitches int) []core.Pair {
+// ascending flow order within each switch. The returned slice is freshly
+// allocated (it is retained by the Problem); the counting table is pooled.
+func sortPairsBySwitch(pairs []core.Pair, numSwitches int, sc *buildScratch) []core.Pair {
 	if len(pairs) == 0 {
-		return pairs
+		return nil
 	}
-	start := make([]int, numSwitches+1)
+	start := growInts(&sc.start, numSwitches+1)
+	for i := range start {
+		start[i] = 0
+	}
 	for _, pr := range pairs {
 		start[pr.Switch+1]++
 	}

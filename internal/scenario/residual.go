@@ -40,7 +40,17 @@ func (inst *Instance) Residual(demoted map[topo.NodeID]bool) (*core.Problem, []i
 			r.Gamma[i] = 0
 		}
 	}
-	var pairMap []int
+	// One counting pass sizes both retained slices exactly — a demotion
+	// re-plan runs on the recovery push's critical path, so the append-grow
+	// churn of the naive loop is worth avoiding.
+	kept := 0
+	for _, pr := range p.Pairs {
+		if !excluded[pr.Switch] {
+			kept++
+		}
+	}
+	r.Pairs = make([]core.Pair, 0, kept)
+	pairMap := make([]int, 0, kept)
 	for k, pr := range p.Pairs {
 		if excluded[pr.Switch] {
 			continue
