@@ -41,7 +41,7 @@ bench-diff:
 # Context.Build), and the million-flow scale bench, and fails if any of them
 # regressed by more than 20% ns/op — or 10% allocs/op — against the newest
 # committed BENCH_<n>.json baseline. CI runs this on every change.
-GATE_BENCHES = BenchmarkFig5|BenchmarkFig7ComputationTime|BenchmarkAlgorithmPM$$|BenchmarkScenarioContextBuild$$|BenchmarkMillionFlow$$
+GATE_BENCHES = BenchmarkFig5|BenchmarkFig7ComputationTime|BenchmarkAlgorithmPM$$|BenchmarkScenarioContextBuild$$|BenchmarkMillionFlow$$|BenchmarkPlanStoreLookup$$|BenchmarkPlanStoreCompile$$
 
 bench-gate:
 	@base=""; n=1; while [ -e "BENCH_$$n.json" ]; do base="BENCH_$$n.json"; n=$$((n+1)); done; \

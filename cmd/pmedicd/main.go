@@ -23,9 +23,16 @@
 //
 //	pmedicd [-listen 127.0.0.1:8080] [-interval 500ms] [-timeout 0]
 //	        [-threshold 3] [-debounce 0] [-jitter 0] [-seed 1]
-//	        [-state-dir ""] [-replica-id ""] [-peers ""] [-lease-ttl 2s]
+//	        [-plan-store ""] [-state-dir ""] [-replica-id ""] [-peers ""]
+//	        [-lease-ttl 2s] [-compact-every 0]
 //	        [-kill 3,4] [-kill-after 5s] [-revive-after 10s]
 //	        [-run-for 0] [-dry-run]
+//
+// With -plan-store the medic serves failure plans from a precompiled plan
+// store (written by pmstore) instead of solving at failure time; the store's
+// topology hash must match the deployment or the daemon refuses to boot.
+// Unswept failure combinations fall back to superset projection + repair,
+// then to a fresh solve.
 //
 // Durations given as 0 pick the detector's defaults (timeout = interval,
 // jitter = interval/4, debounce = 2×interval). -run-for 0 runs until
@@ -55,6 +62,7 @@ import (
 	"pmedic/internal/medic"
 	"pmedic/internal/monitor"
 	"pmedic/internal/openflow"
+	"pmedic/internal/planstore"
 	"pmedic/internal/sdnsim"
 	"pmedic/internal/store"
 	"pmedic/internal/topo"
@@ -81,11 +89,16 @@ type config struct {
 	runFor      time.Duration
 	dryRun      bool
 
+	// planStore points at a precompiled plan-store file (cmd/pmstore); the
+	// medic serves failure plans from it instead of solving.
+	planStore string
+
 	// HA: a non-empty stateDir turns on persistence and leader election.
-	stateDir  string
-	replicaID string
-	peers     []string
-	leaseTTL  time.Duration
+	stateDir     string
+	replicaID    string
+	peers        []string
+	leaseTTL     time.Duration
+	compactEvery int
 }
 
 func parseFlags(args []string) (config, error) {
@@ -101,6 +114,8 @@ func parseFlags(args []string) (config, error) {
 	replicaID := fs.String("replica-id", "", "this replica's name in the leader lease (default pmedicd-<pid>)")
 	peers := fs.String("peers", "", "comma-separated replica IDs expected to share -state-dir (informational)")
 	leaseTTL := fs.Duration("lease-ttl", 2*time.Second, "leader lease validity; failover latency after SIGKILL is about one TTL")
+	planStore := fs.String("plan-store", "", "precompiled plan-store file (see cmd/pmstore); failure plans are served from it instead of solved")
+	compactEvery := fs.Int("compact-every", 0, "WAL records since the last checkpoint before the store asks for compaction (0 = medic default)")
 	kill := fs.String("kill", "", "comma-separated controller indices the chaos script kills")
 	killAfter := fs.Duration("kill-after", 5*time.Second, "delay before the chaos kill")
 	reviveAfter := fs.Duration("revive-after", 10*time.Second, "delay before the killed controllers return (0 = never)")
@@ -110,20 +125,22 @@ func parseFlags(args []string) (config, error) {
 		return config{}, err
 	}
 	cfg := config{
-		listen:      *listen,
-		interval:    *interval,
-		timeout:     *timeout,
-		threshold:   *threshold,
-		debounce:    *debounce,
-		jitter:      *jitter,
-		seed:        *seed,
-		killAfter:   *killAfter,
-		reviveAfter: *reviveAfter,
-		runFor:      *runFor,
-		dryRun:      *dryRun,
-		stateDir:    *stateDir,
-		replicaID:   *replicaID,
-		leaseTTL:    *leaseTTL,
+		listen:       *listen,
+		interval:     *interval,
+		timeout:      *timeout,
+		threshold:    *threshold,
+		debounce:     *debounce,
+		jitter:       *jitter,
+		seed:         *seed,
+		killAfter:    *killAfter,
+		reviveAfter:  *reviveAfter,
+		runFor:       *runFor,
+		dryRun:       *dryRun,
+		planStore:    *planStore,
+		stateDir:     *stateDir,
+		replicaID:    *replicaID,
+		leaseTTL:     *leaseTTL,
+		compactEvery: *compactEvery,
 	}
 	if cfg.replicaID == "" {
 		cfg.replicaID = fmt.Sprintf("pmedicd-%d", os.Getpid())
@@ -250,9 +267,10 @@ func followerHandler(dir, id string) http.Handler {
 // daemon is one pmedicd replica: always the stack and the HTTP surface,
 // plus — while leading — the store, detector, and reconcile loop.
 type daemon struct {
-	cfg config
-	s   *stack
-	out io.Writer
+	cfg   config
+	s     *stack
+	out   io.Writer
+	plans *planstore.Store // immutable, shared across promote/demote cycles
 
 	handler *swapHandler
 	el      *election.Elector
@@ -279,7 +297,7 @@ func (d *daemon) detectorConfig() monitor.Config {
 // the restored failure set to a fresh detector, start reconciling, and
 // swap in the leader HTTP surface.
 func (d *daemon) promote(term uint64) error {
-	opts := store.Options{}
+	opts := store.Options{CompactEvery: d.cfg.compactEvery}
 	if d.el != nil {
 		opts.Guard = d.el.Check
 	}
@@ -296,6 +314,7 @@ func (d *daemon) promote(term uint64) error {
 		Net:       d.s.network,
 		Push:      sdnsim.PushOptions{Seed: d.cfg.seed},
 		Store:     d.st,
+		Plans:     d.plans,
 		ReplicaID: d.cfg.replicaID,
 		OnFenced: func() {
 			select {
@@ -377,6 +396,23 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	d := &daemon{cfg: cfg, s: s, out: out, handler: &swapHandler{}, fenced: make(chan struct{}, 1)}
+	if cfg.planStore != "" {
+		// The store is read-only and immutable: open it once, validate it
+		// against this deployment up front, and share it across every
+		// promote/demote cycle. A mismatched store is an operator error —
+		// refusing to boot beats silently solving from scratch.
+		ps, err := planstore.Open(cfg.planStore)
+		if err != nil {
+			return err
+		}
+		defer ps.Close()
+		if got, want := ps.Header().TopoHash, planstore.TopoHash(s.dep, s.flows); got != want {
+			return fmt.Errorf("plan store %s: topology hash %#x does not match this deployment (%#x); recompile with pmstore", cfg.planStore, got, want)
+		}
+		d.plans = ps
+	}
+
 	fmt.Fprintf(out, "pmedicd: ATT: %d switches (agents up), %d controllers (echo endpoints up)\n",
 		len(s.network.Switches), len(s.network.Controllers))
 	for j := range s.network.Controllers {
@@ -384,17 +420,21 @@ func run(args []string, out io.Writer) error {
 			j, s.dep.Controllers[j].Site, s.echos[j].Addr())
 	}
 	fmt.Fprintf(out, "  detector: interval=%v threshold=%d\n", cfg.interval, cfg.threshold)
+	if d.plans != nil {
+		h := d.plans.Header()
+		fmt.Fprintf(out, "  plan store: %s: %d plans up to depth %d (%s, M=%d, topo %#x)\n",
+			cfg.planStore, d.plans.Len(), h.Depth, h.Algorithm, h.NumControllers, h.TopoHash)
+	}
 	if cfg.stateDir != "" {
 		fmt.Fprintf(out, "  HA: replica %s, state dir %s, lease TTL %v, peers %v\n",
 			cfg.replicaID, cfg.stateDir, cfg.leaseTTL, cfg.peers)
 	}
 
-	d := &daemon{cfg: cfg, s: s, out: out, handler: &swapHandler{}, fenced: make(chan struct{}, 1)}
 	d.handler.Set(followerHandler(cfg.stateDir, cfg.replicaID))
 
 	if cfg.dryRun {
 		if cfg.stateDir != "" {
-			st, err := store.Open(cfg.stateDir, store.Options{})
+			st, err := store.Open(cfg.stateDir, store.Options{CompactEvery: cfg.compactEvery})
 			if err != nil {
 				return err
 			}

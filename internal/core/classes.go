@@ -139,6 +139,130 @@ func (p *Problem) classIndexOf() *classIndex {
 	return ci
 }
 
+// DeriveResidualClasses fills r's class index from its parent's, where r is
+// the residual of parent that excludes every pair at the switches marked in
+// excluded (scenario.Instance.Residual). Members of one parent class share a
+// signature, so they share the filtered signature too — deriving the residual
+// index only has to regroup the parent's classes (thousands) instead of
+// re-hashing every flow (millions), which is what puts a residual re-plan
+// back on the zero-ish-cost path the parent solve already paid for.
+//
+// The derived index is identical, field for field, to what classIndexOf
+// would compute from scratch on r (enforced by TestDeriveResidualClasses):
+// groups are ordered by the same (hash, signature) key and members stay
+// ascending by flow ID. The call is a no-op — r computes lazily as before —
+// when the parent's index is absent or unusable, or r already has one.
+func (r *Problem) DeriveResidualClasses(parent *Problem, excluded []bool) {
+	pc := parent.classes
+	if pc == nil || pc.numClasses <= 0 || r.classes != nil || r.NumFlows != parent.NumFlows {
+		return
+	}
+	nc := pc.numClasses
+
+	// Filtered-signature hash and length per parent class, same FNV fold as
+	// classIndexOf so run order matches a scratch computation.
+	hash := make([]uint64, nc)
+	flen := make([]int32, nc)
+	for c := 0; c < nc; c++ {
+		sw, pb := pc.template(int32(c))
+		h := uint64(1469598103934665603)
+		n := int32(0)
+		for t := range sw {
+			if excluded[sw[t]] {
+				continue
+			}
+			h = (h ^ uint64(sw[t])) * 1099511628211
+			h = (h ^ uint64(pb[t])) * 1099511628211
+			n++
+		}
+		hash[c] = h
+		flen[c] = n
+	}
+	// cmp compares two parent classes' filtered signatures exactly the way
+	// classIndexOf's sigCmp compares flows: length first, then pairwise.
+	cmp := func(a, b int32) int {
+		if flen[a] != flen[b] {
+			return int(flen[a] - flen[b])
+		}
+		swA, pbA := pc.template(a)
+		swB, pbB := pc.template(b)
+		tb := 0
+		for ta := range swA {
+			if excluded[swA[ta]] {
+				continue
+			}
+			for excluded[swB[tb]] {
+				tb++
+			}
+			if swA[ta] != swB[tb] {
+				return int(swA[ta] - swB[tb])
+			}
+			if pbA[ta] != pbB[tb] {
+				return int(pbA[ta] - pbB[tb])
+			}
+			tb++
+		}
+		return 0
+	}
+
+	order := make([]int32, nc)
+	for c := range order {
+		order[c] = int32(c)
+	}
+	slices.SortFunc(order, func(a, b int32) int {
+		if hash[a] != hash[b] {
+			if hash[a] < hash[b] {
+				return -1
+			}
+			return 1
+		}
+		if c := cmp(a, b); c != 0 {
+			return c
+		}
+		return int(a - b)
+	})
+
+	ci := &classIndex{
+		classOf:   make([]int32, r.NumFlows),
+		members:   make([]int32, 0, r.NumFlows),
+		memberOff: make([]int32, 1, nc+1),
+		tmplOff:   make([]int32, 1, nc+1),
+	}
+	for idx := 0; idx < nc; {
+		run := idx + 1
+		for run < nc && hash[order[run]] == hash[order[idx]] && cmp(order[run], order[idx]) == 0 {
+			run++
+		}
+		c := int32(ci.numClasses)
+		start := len(ci.members)
+		for _, pcls := range order[idx:run] {
+			lo, hi := pc.memberOff[pcls], pc.memberOff[pcls+1]
+			ci.members = append(ci.members, pc.members[lo:hi]...)
+		}
+		// Parent member lists are each ascending; a merged group needs one
+		// sort to restore the global ascending-flow-ID order of a scratch run.
+		if run-idx > 1 {
+			slices.Sort(ci.members[start:])
+		}
+		for _, l := range ci.members[start:] {
+			ci.classOf[l] = c
+		}
+		sw, pb := pc.template(order[idx])
+		for t := range sw {
+			if excluded[sw[t]] {
+				continue
+			}
+			ci.tmplSwitch = append(ci.tmplSwitch, sw[t])
+			ci.tmplPBar = append(ci.tmplPBar, pb[t])
+		}
+		ci.memberOff = append(ci.memberOff, int32(len(ci.members)))
+		ci.tmplOff = append(ci.tmplOff, int32(len(ci.tmplSwitch)))
+		ci.numClasses++
+		idx = run
+	}
+	r.classes = ci
+}
+
 // ClassCount returns the number of flow equivalence classes of a finalized
 // problem, or -1 when the problem cannot be class-aggregated (some flow has
 // more than 64 eligible pairs). It is a diagnostic for scale reporting —

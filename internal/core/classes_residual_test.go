@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// residualOf mirrors scenario.Instance.Residual on a bare Problem: drop every
+// pair at an excluded switch, zero the excluded switches' γ, finalize.
+func residualOf(t *testing.T, p *Problem, excluded []bool) *Problem {
+	t.Helper()
+	r := &Problem{
+		NumSwitches:    p.NumSwitches,
+		NumControllers: p.NumControllers,
+		NumFlows:       p.NumFlows,
+		Rest:           append([]int(nil), p.Rest...),
+		Gamma:          append([]int(nil), p.Gamma...),
+		Delay:          append([][]float64(nil), p.Delay...),
+		Lambda:         p.Lambda,
+	}
+	for i, ex := range excluded {
+		if ex {
+			r.Gamma[i] = 0
+		}
+	}
+	for _, pr := range p.Pairs {
+		if !excluded[pr.Switch] {
+			r.Pairs = append(r.Pairs, pr)
+		}
+	}
+	if err := r.Finalize(); err != nil {
+		t.Fatalf("residual Finalize: %v", err)
+	}
+	return r
+}
+
+// TestDeriveResidualClasses asserts that the class index derived from the
+// parent's (what a residual re-plan reuses) is identical, field for field, to
+// the index classIndexOf computes from scratch on the residual problem —
+// including group order, member order, and templates.
+func TestDeriveResidualClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 300; trial++ {
+		p := randomProblem(rng)
+		if p.classIndexOf() == nil {
+			t.Fatalf("trial %d: parent index unusable", trial)
+		}
+		excluded := make([]bool, p.NumSwitches)
+		for i := range excluded {
+			excluded[i] = rng.Intn(3) == 0
+		}
+
+		scratch := residualOf(t, p, excluded)
+		derived := residualOf(t, p, excluded)
+		derived.DeriveResidualClasses(p, excluded)
+		if derived.classes == nil {
+			t.Fatalf("trial %d: derivation was a no-op with a usable parent index", trial)
+		}
+		want := scratch.classIndexOf()
+		if want == nil {
+			t.Fatalf("trial %d: scratch index unusable", trial)
+		}
+		if !reflect.DeepEqual(normalizeClassIndex(want), normalizeClassIndex(derived.classes)) {
+			t.Fatalf("trial %d: derived index differs from scratch:\nscratch: %+v\nderived: %+v",
+				trial, want, derived.classes)
+		}
+	}
+}
+
+// normalizeClassIndex maps empty-but-non-nil and nil slices to a comparable
+// shape (append on an empty template leaves nil in one path, empty in the
+// other).
+func normalizeClassIndex(ci *classIndex) *classIndex {
+	out := &classIndex{numClasses: ci.numClasses}
+	out.classOf = append([]int32{}, ci.classOf...)
+	out.members = append([]int32{}, ci.members...)
+	out.memberOff = append([]int32{}, ci.memberOff...)
+	out.tmplSwitch = append([]int32{}, ci.tmplSwitch...)
+	out.tmplPBar = append([]int32{}, ci.tmplPBar...)
+	out.tmplOff = append([]int32{}, ci.tmplOff...)
+	return out
+}
+
+// TestDeriveResidualClassesNoop covers the guard paths: derivation must stay
+// inert when the parent has no computed index, and must not overwrite an
+// index the residual already has.
+func TestDeriveResidualClassesNoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := randomProblem(rng)
+	excluded := make([]bool, p.NumSwitches)
+
+	r := residualOf(t, p, excluded)
+	r.DeriveResidualClasses(p, excluded) // parent index never computed
+	if r.classes != nil {
+		t.Fatal("derivation ran without a parent index")
+	}
+
+	if p.classIndexOf() == nil {
+		t.Fatal("parent index unusable")
+	}
+	r2 := residualOf(t, p, excluded)
+	own := r2.classIndexOf()
+	r2.DeriveResidualClasses(p, excluded)
+	if r2.classes != own {
+		t.Fatal("derivation overwrote an existing index")
+	}
+}

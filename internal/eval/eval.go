@@ -100,29 +100,52 @@ func SweepOpts(dep *topo.Deployment, flows *flow.Set, k int, algs []Algorithm, o
 	}
 	combos := scenario.Combinations(len(dep.Controllers), k)
 	results := make([]*CaseResult, len(combos))
+	err := ForEachCase(ctx, combos, opts.Workers, func(idx int, inst *scenario.Instance) error {
+		cr, err := evalCase(inst, combos[idx], algs)
+		if err != nil {
+			return err
+		}
+		results[idx] = cr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
 
-	workers := opts.Workers
+// ForEachCase compiles every failure combination off the shared context and
+// calls fn with the compiled instance, fanning the cases out over a bounded
+// worker pool. fn runs concurrently for distinct indices and must only
+// touch state it owns (writing to its own slot of a results slice is the
+// intended pattern). Errors are deterministic regardless of scheduling: the
+// failing case with the lowest index wins and the remaining queue drains
+// without work. workers <= 0 selects one worker per available CPU; 1 forces
+// a fully sequential pass. The plan-store compiler and the sweep harness
+// share this engine.
+func ForEachCase(ctx *scenario.Context, combos [][]int, workers int, fn func(idx int, inst *scenario.Instance) error) error {
+	run := func(idx int) error {
+		inst, err := ctx.Build(combos[idx])
+		if err != nil {
+			return fmt.Errorf("eval: case %v: %w", combos[idx], err)
+		}
+		return fn(idx, inst)
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(combos) {
 		workers = len(combos)
 	}
-
 	if workers <= 1 {
-		for idx, failed := range combos {
-			cr, err := runCase(ctx, failed, algs)
-			if err != nil {
-				return nil, err
+		for idx := range combos {
+			if err := run(idx); err != nil {
+				return err
 			}
-			results[idx] = cr
 		}
-		return results, nil
+		return nil
 	}
 
-	// Parallel path: workers pull case indices off a channel and write into
-	// their slot of the ordered results slice. On error the earliest failing
-	// case wins and the remaining queue is drained without work.
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
@@ -141,16 +164,13 @@ func SweepOpts(dep *topo.Deployment, flows *flow.Set, k int, algs []Algorithm, o
 				if failed {
 					continue
 				}
-				cr, err := runCase(ctx, combos[idx], algs)
-				if err != nil {
+				if err := run(idx); err != nil {
 					mu.Lock()
 					if idx < errIdx {
 						firstErr, errIdx = err, idx
 					}
 					mu.Unlock()
-					continue
 				}
-				results[idx] = cr
 			}
 		}()
 	}
@@ -159,10 +179,7 @@ func SweepOpts(dep *topo.Deployment, flows *flow.Set, k int, algs []Algorithm, o
 	}
 	close(jobs)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return results, nil
+	return firstErr
 }
 
 // RunCase builds the instance for one failure combination and runs every
@@ -183,6 +200,11 @@ func runCase(ctx *scenario.Context, failed []int, algs []Algorithm) (*CaseResult
 	if err != nil {
 		return nil, fmt.Errorf("eval: case %v: %w", failed, err)
 	}
+	return evalCase(inst, failed, algs)
+}
+
+// evalCase evaluates every algorithm on one compiled instance.
+func evalCase(inst *scenario.Instance, failed []int, algs []Algorithm) (*CaseResult, error) {
 	cr := &CaseResult{
 		Label:    inst.Label(),
 		Failed:   append([]int(nil), failed...),

@@ -36,6 +36,7 @@ import (
 	"pmedic/internal/core"
 	"pmedic/internal/flow"
 	"pmedic/internal/monitor"
+	"pmedic/internal/planstore"
 	"pmedic/internal/scenario"
 	"pmedic/internal/sdnsim"
 	"pmedic/internal/store"
@@ -70,6 +71,14 @@ type Config struct {
 	Push sdnsim.PushOptions
 	// Solve replaces the planning algorithm (default core.PM).
 	Solve func(*core.Problem) (*core.Solution, error)
+	// Plans, when set, is the precompiled plan store consulted before every
+	// solve: an exact hit serves the stored plan (byte-identical to a fresh
+	// solve), an uncompiled set falls back to the nearest superset plan plus
+	// a residual repair, and only a miss pays the full solve. The store's
+	// lifecycle (Open/Close) belongs to the caller. A store whose topology
+	// hash does not match Dep and Flows is refused at New and the daemon
+	// degrades to the solve path.
+	Plans *planstore.Store
 	// Pusher and Restorer replace the wire drivers (defaults:
 	// sdnsim.PushRecoveryResilient, sdnsim.RestoreIdeal); tests stub them.
 	Pusher   PushFunc
@@ -102,6 +111,9 @@ type Medic struct {
 	// middle-layer placement, domain loads), so every reconcile compiles its
 	// failure set without re-walking the topology.
 	ctx *scenario.Context
+	// plans is cfg.Plans after the topology-hash gate: nil when no store is
+	// configured or the store was compiled for a different deployment.
+	plans *planstore.Store
 
 	mu sync.Mutex
 	// epoch counts applied event batches; 0 = nothing ever detected.
@@ -191,6 +203,20 @@ func New(cfg Config) (*Medic, error) {
 		log:         newEventLog(cfg.LogSize),
 		metrics:     newMetrics(),
 		done:        make(chan struct{}),
+	}
+	if cfg.Plans != nil {
+		// A store compiled for a different deployment would serve plans whose
+		// switch indices, delays, and capacities are all stale: refuse it and
+		// keep recovering on the solve path instead of pushing garbage.
+		if got, want := cfg.Plans.Header().TopoHash, planstore.TopoHash(cfg.Dep, cfg.Flows); got != want {
+			m.log.addf(KindError, "plan store %s disabled: topology hash %#x does not match deployment %#x",
+				cfg.Plans.Path(), got, want)
+		} else {
+			m.plans = cfg.Plans
+			m.metrics.wirePlans()
+			m.log.addf(KindPlan, "plan store %s: %d precompiled plans up to depth %d (%s)",
+				cfg.Plans.Path(), cfg.Plans.Len(), cfg.Plans.Header().Depth, cfg.Plans.Header().Algorithm)
+		}
 	}
 	if cfg.Store != nil {
 		m.metrics.wireStore(cfg.Store)
@@ -527,6 +553,30 @@ func (m *Medic) plan(epoch uint64, inst *scenario.Instance) (*core.Solution, err
 	m.mu.Unlock()
 
 	if len(demoted) == 0 {
+		// Failure-time fast path: serve the plan from the precompiled store
+		// when one is wired. A store error (corrupt record, unplannable
+		// superset) degrades to the solve path — the daemon keeps recovering
+		// on a broken store, it just recovers slower.
+		if m.plans != nil {
+			sol, outcome, err := m.plans.Consult(m.ctx, inst, m.cfg.Solve)
+			switch {
+			case err != nil:
+				m.metrics.addPlanError()
+				m.log.addf(KindError, "epoch %d: plan store for %s: %v", epoch, inst.Label(), err)
+			case outcome == planstore.OutcomeHit:
+				m.metrics.addPlanHit()
+				m.log.addf(KindPlan, "epoch %d: plan for %s served from the plan store in %s",
+					epoch, inst.Label(), sol.Runtime)
+				return sol, nil
+			case outcome == planstore.OutcomeFallback:
+				m.metrics.addPlanFallback()
+				m.log.addf(KindPlan, "epoch %d: plan for %s projected from a precompiled superset plan and repaired in %s",
+					epoch, inst.Label(), sol.Runtime)
+				return sol, nil
+			default:
+				m.metrics.addPlanMiss()
+			}
+		}
 		return m.cfg.Solve(inst.Problem)
 	}
 	rp, pairMap, err := inst.Residual(demoted)

@@ -27,12 +27,20 @@ type Metrics struct {
 	leader      atomic.Uint64 // 1 when leader
 	term        atomic.Uint64
 
+	// Plan-store consultation outcomes; rendered only when a store is wired.
+	planHits      atomic.Uint64
+	planFallbacks atomic.Uint64
+	planMisses    atomic.Uint64
+	planErrors    atomic.Uint64
+
 	mu           sync.Mutex
 	reconcileN   uint64
 	reconcileSum float64
 	reconcileLE  []uint64 // cumulative counts per bucket in reconcileBuckets
 
 	st *store.Store // WAL fsync/checkpoint/pending sources, nil standalone
+	// plansEnabled is set once at wiring time, before the loop starts.
+	plansEnabled bool
 }
 
 func newMetrics() *Metrics {
@@ -42,10 +50,17 @@ func newMetrics() *Metrics {
 // wireStore attaches the persistence layer as a metrics source.
 func (x *Metrics) wireStore(st *store.Store) { x.st = st }
 
+// wirePlans enables the plan-store outcome counters.
+func (x *Metrics) wirePlans() { x.plansEnabled = true }
+
 func (x *Metrics) addEpoch()               { x.epochs.Add(1) }
 func (x *Metrics) addPushRetries(n uint64) { x.pushRetries.Add(n) }
 func (x *Metrics) addFenced(n uint64)      { x.fenced.Add(n) }
 func (x *Metrics) addRestore()             { x.restores.Add(1) }
+func (x *Metrics) addPlanHit()             { x.planHits.Add(1) }
+func (x *Metrics) addPlanFallback()        { x.planFallbacks.Add(1) }
+func (x *Metrics) addPlanMiss()            { x.planMisses.Add(1) }
+func (x *Metrics) addPlanError()           { x.planErrors.Add(1) }
 
 func (x *Metrics) setLeader(leader bool, term uint64) {
 	if leader {
@@ -69,6 +84,12 @@ func (x *Metrics) observeReconcile(d time.Duration) {
 	x.mu.Unlock()
 }
 
+// PlanStoreCounts returns the plan-store outcome counters (hits, superset
+// fallbacks, misses, errors) — a test and status convenience.
+func (x *Metrics) PlanStoreCounts() (hits, fallbacks, misses, errors uint64) {
+	return x.planHits.Load(), x.planFallbacks.Load(), x.planMisses.Load(), x.planErrors.Load()
+}
+
 // WriteTo renders the registry in Prometheus text format.
 func (x *Metrics) WriteTo(w io.Writer) (int64, error) {
 	var b strings.Builder
@@ -90,6 +111,13 @@ func (x *Metrics) WriteTo(w io.Writer) (int64, error) {
 		counter("pmedicd_wal_fsyncs_total", "fsync calls issued by the snapshot+WAL store.", x.st.Fsyncs())
 		counter("pmedicd_wal_checkpoints_total", "WAL-into-snapshot checkpoints completed.", x.st.Checkpoints())
 		gauge("pmedicd_wal_pending_records", "WAL records not yet folded into a snapshot.", uint64(x.st.Pending()))
+	}
+
+	if x.plansEnabled {
+		counter("pmedicd_planstore_hits_total", "Recovery plans served from the precompiled plan store.", x.planHits.Load())
+		counter("pmedicd_planstore_fallbacks_total", "Recovery plans projected from a precompiled superset plan.", x.planFallbacks.Load())
+		counter("pmedicd_planstore_misses_total", "Failure sets absent from the plan store (full solve paid).", x.planMisses.Load())
+		counter("pmedicd_planstore_errors_total", "Plan-store consultations that failed and degraded to a solve.", x.planErrors.Load())
 	}
 
 	x.mu.Lock()

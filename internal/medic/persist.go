@@ -163,9 +163,13 @@ func (m *Medic) persistLogEntry(e LogEntry) {
 }
 
 // maybeCheckpoint folds the WAL into a fresh snapshot once enough records
-// accumulate.
+// accumulate — either past the medic's own CheckpointEvery or past the
+// store's CompactEvery threshold (store.Options), whichever trips first.
 func (m *Medic) maybeCheckpoint() {
-	if m.cfg.Store == nil || m.cfg.Store.Pending() < m.cfg.CheckpointEvery {
+	if m.cfg.Store == nil {
+		return
+	}
+	if !m.cfg.Store.NeedsCheckpoint() && m.cfg.Store.Pending() < m.cfg.CheckpointEvery {
 		return
 	}
 	m.countPersist(m.cfg.Store.Checkpoint(m.durableLocked()))

@@ -175,6 +175,62 @@ func TestCheckpointFoldsDaemonWAL(t *testing.T) {
 	}
 }
 
+// TestStoreCompactEveryBoundsReplay: the store's own CompactEvery knob
+// (store.Options) forces folds even when the medic's CheckpointEvery would
+// never trip, so the WAL a crashed daemon leaves behind — and hence restart
+// replay work — stays bounded by the knob plus one reconcile's records.
+func TestStoreCompactEveryBoundsReplay(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{NoSync: true, CompactEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = st.Close() })
+	rec := &recorder{}
+	dep, flows := testFixture(t)
+	m1, err := New(Config{
+		Dep:             dep,
+		Flows:           flows,
+		Addrs:           map[topo.NodeID]string{0: "stubbed"},
+		Pusher:          rec.push,
+		Restorer:        rec.restore,
+		Store:           st,
+		CheckpointEvery: 1 << 30, // only the store's knob can trigger a fold
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := make(chan monitor.Event, 8)
+	m1.Start(events)
+	t.Cleanup(m1.Stop)
+
+	toggles := []monitor.Event{
+		{Seq: 1, Failed: []int{3}},
+		{Seq: 2, Failed: []int{4}},
+		{Seq: 3, Recovered: []int{4}},
+	}
+	for i, ev := range toggles {
+		ev.At = time.Now()
+		events <- ev
+		waitStatus(t, m1, func(s Status) bool { return s.Converged && s.Epoch == uint64(i+1) })
+	}
+	if st.Checkpoints() == 0 {
+		t.Fatal("store.CompactEvery=2 never forced a checkpoint despite CheckpointEvery=1<<30")
+	}
+	before := m1.Status()
+	m1.Stop() // crash, no FlushState: the bounded WAL alone carries the tail
+
+	m2, _, _ := newStoredMedic(t, dir, &recorder{}, nil)
+	after := m2.Status()
+	if after.Epoch != before.Epoch+1 {
+		t.Fatalf("epoch after restart = %d, want %d", after.Epoch, before.Epoch+1)
+	}
+	if len(after.Failed) != 1 || after.Failed[0] != 3 {
+		t.Fatalf("Failed = %v, want [3]", after.Failed)
+	}
+	mustJSONEqual(t, "mapping", before.Mapping, after.Mapping)
+}
+
 // TestGuardedStoreDegradesNotFatal: a medic whose store guard refuses every
 // write (the deposed-leader path) keeps reconciling — recovery outranks
 // journaling — and surfaces the degradation in Status.

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package planstore
+
+import "os"
+
+// mmapFile always defers to the read-everything fallback off unix.
+func mmapFile(f *os.File, size int) (data []byte, mapped bool, err error) {
+	return nil, false, nil
+}
+
+func munmap(data []byte) error { return nil }

@@ -1,0 +1,24 @@
+//go:build unix
+
+package planstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the file read-only. A nil slice with nil error asks the
+// caller to fall back to reading the file into memory (empty file, or a
+// filesystem that refuses the mapping).
+func mmapFile(f *os.File, size int) (data []byte, mapped bool, err error) {
+	if size <= 0 {
+		return nil, false, nil
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, nil
+	}
+	return data, true, nil
+}
+
+func munmap(data []byte) error { return syscall.Munmap(data) }

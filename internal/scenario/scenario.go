@@ -118,3 +118,18 @@ func Combinations(m, k int) [][]int {
 	}
 	return out
 }
+
+// CombinationsUpTo returns every failure combination of size 1..k over m
+// controllers, smaller sizes first and lexicographic within a size — the
+// enumeration order the plan-store compiler sweeps and indexes. k is capped
+// at m-1: a case needs at least one surviving controller.
+func CombinationsUpTo(m, k int) [][]int {
+	if k > m-1 {
+		k = m - 1
+	}
+	var out [][]int
+	for s := 1; s <= k; s++ {
+		out = append(out, Combinations(m, s)...)
+	}
+	return out
+}

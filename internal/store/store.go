@@ -77,6 +77,12 @@ type Options struct {
 	// non-nil error refuses the write with ErrGuarded. Wire it to the
 	// elector's leadership check to fence a deposed leader's late writes.
 	Guard func() error
+	// CompactEvery is the store's own compaction threshold: once this many
+	// records accumulate since the last checkpoint, NeedsCheckpoint reports
+	// true and the owning daemon should fold the WAL into a snapshot. It
+	// bounds both the WAL's size on disk and the replay work a restarted
+	// process pays. Zero leaves the policy entirely to the caller.
+	CompactEvery int
 }
 
 // Store is an open snapshot+WAL state directory. One process (the current
@@ -244,6 +250,15 @@ func (s *Store) Pending() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.pending
+}
+
+// NeedsCheckpoint reports whether the WAL has grown past the store's own
+// CompactEvery threshold. Always false when the knob is unset (zero).
+func (s *Store) NeedsCheckpoint() bool {
+	if s.opts.CompactEvery <= 0 {
+		return false
+	}
+	return s.Pending() >= s.opts.CompactEvery
 }
 
 // Fsyncs counts the fsync calls issued so far (a metrics source).

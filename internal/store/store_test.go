@@ -95,6 +95,55 @@ func TestCheckpointFoldsWAL(t *testing.T) {
 	}
 }
 
+// TestCompactEveryThreshold drives the store's own compaction knob: below
+// the threshold NeedsCheckpoint stays quiet, at it the store asks for a
+// fold, and a checkpoint (or an unset knob) silences it again.
+func TestCompactEveryThreshold(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{NoSync: true, CompactEvery: 3})
+	for i := 0; i < 2; i++ {
+		if err := s.Append("fact", fact{N: i}); err != nil {
+			t.Fatal(err)
+		}
+		if s.NeedsCheckpoint() {
+			t.Fatalf("NeedsCheckpoint true at %d pending, threshold 3", s.Pending())
+		}
+	}
+	if err := s.Append("fact", fact{N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.NeedsCheckpoint() {
+		t.Fatalf("NeedsCheckpoint false at %d pending, threshold 3", s.Pending())
+	}
+	if err := s.Checkpoint(fact{N: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if s.NeedsCheckpoint() {
+		t.Fatal("NeedsCheckpoint true immediately after checkpoint")
+	}
+	_ = s.Close()
+
+	// A restart counts replayed records as pending: a WAL left past the
+	// threshold by a crash asks for compaction right away.
+	for i := 0; i < 4; i++ {
+		s2 := openT(t, dir, Options{NoSync: true, CompactEvery: 3})
+		if err := s2.Append("fact", fact{N: i}); err != nil {
+			t.Fatal(err)
+		}
+		_ = s2.Close()
+	}
+	s3 := openT(t, dir, Options{NoSync: true, CompactEvery: 3})
+	if !s3.NeedsCheckpoint() {
+		t.Fatalf("NeedsCheckpoint false after replaying %d records, threshold 3", s3.Pending())
+	}
+
+	// The knob unset, the store never volunteers an opinion.
+	s4 := openT(t, dir, Options{NoSync: true})
+	if s4.NeedsCheckpoint() {
+		t.Fatal("NeedsCheckpoint true with CompactEvery unset")
+	}
+}
+
 // TestTruncatedTailTolerated chops the WAL mid-record — the footprint of a
 // crash during Append — and expects a clean open that keeps every complete
 // record and trims the stub.
