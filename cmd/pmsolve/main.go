@@ -5,12 +5,17 @@
 //
 // Usage:
 //
-//	pmsolve -failed 13,16 [-algorithm pm|retroflow|pg|optimal]
-//	        [-opt-time 60s] [-opt-workers n] [-unordered] [-slack n] [-limit n]
+//	pmsolve -failed 13,16 [-algorithm pm|retroflow|pg|optimal|hier]
+//	        [-opt-time 60s] [-opt-workers n] [-regions k] [-improve-rounds n]
+//	        [-unordered] [-slack n] [-limit n]
 //	        [-pretty] [-cpuprofile f] [-memprofile f]
 //
 // The -failed list names controllers by their site IDs as printed by pmtopo
 // (e.g. "13,16" is the paper-style case (13, 16)).
+//
+// -algorithm hier runs the hierarchical region-sharded PM (internal/region):
+// -regions picks the region count, -improve-rounds bounds its anytime
+// improver.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"pmedic/internal/flow"
 	"pmedic/internal/opt"
 	"pmedic/internal/prof"
+	"pmedic/internal/region"
 	"pmedic/internal/scenario"
 	"pmedic/internal/topo"
 )
@@ -89,9 +95,11 @@ type sdnFlowEntry struct {
 func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("pmsolve", flag.ContinueOnError)
 	failedFlag := fs.String("failed", "", "comma-separated failed controller site IDs, e.g. 13,16")
-	algFlag := fs.String("algorithm", "pm", "pm, retroflow, pg, or optimal")
+	algFlag := fs.String("algorithm", "pm", "pm, retroflow, pg, optimal, or hier")
 	optTime := fs.Duration("opt-time", 60*time.Second, "time budget for -algorithm optimal")
 	optWorkers := fs.Int("opt-workers", 0, "branch & bound worker goroutines for -algorithm optimal (0 = 1)")
+	regionsFlag := fs.Int("regions", 2, "region count for -algorithm hier")
+	improveRounds := fs.Int("improve-rounds", 0, "anytime improver rounds for -algorithm hier (0 = off)")
 	unordered := fs.Bool("unordered", false, "one flow per unordered pair")
 	slack := fs.Int("slack", 0, "path-count hop slack (0 = default)")
 	limit := fs.Int("limit", 0, "path-count cap (0 = default)")
@@ -145,6 +153,12 @@ func run(args []string, out io.Writer) (err error) {
 		sol, err = core.RetroFlow(inst.Problem)
 	case "pg":
 		sol, err = core.PG(inst.Problem)
+	case "hier":
+		var part *region.Partition
+		if part, err = region.New(dep, *regionsFlag, 1); err != nil {
+			return err
+		}
+		sol, err = region.SolvePM(inst, part, region.SolveOptions{ImproveRounds: *improveRounds})
 	case "optimal":
 		var warm *core.Solution
 		if warm, err = core.PM(inst.Problem); err != nil {

@@ -140,6 +140,52 @@ func checkAggEquivalence(t *testing.T, tag string, p *core.Problem, opts core.Ev
 	}
 	requireSameSolution(t, tag+"/PG", pgFlat, pgA)
 	requireSameReport(t, tag+"/PG", p, pgFlat, pgA, opts)
+
+	rfFlat, err := core.RetroFlowFlat(p)
+	if err != nil {
+		t.Fatalf("%s: retroflow flat: %v", tag, err)
+	}
+	rfA, _, err := core.RetroFlowAgg(p)
+	if err != nil {
+		t.Fatalf("%s: retroflow agg: %v", tag, err)
+	}
+	requireSameSolution(t, tag+"/RetroFlow", rfFlat, rfA)
+	requireSameReport(t, tag+"/RetroFlow", p, rfFlat, rfA, core.EvaluateOptions{})
+}
+
+// TestRetroFlowAggMatchesFlatRandom pins the switch-level baseline's
+// aggregated path against its per-flow reference on its own seed range, in
+// addition to the shared checkAggEquivalence coverage above: RetroFlow's
+// greedy reads γ and density ratios no other solver touches.
+func TestRetroFlowAggMatchesFlatRandom(t *testing.T) {
+	iters := 120
+	if testing.Short() {
+		iters = 25
+	}
+	for it := 0; it < iters; it++ {
+		rng := rand.New(rand.NewSource(int64(7000 + it)))
+		p := randAggProblem(rng)
+		if len(p.Pairs) == 0 {
+			continue
+		}
+		if err := p.Finalize(); err != nil {
+			t.Fatalf("iter %d: finalize: %v", it, err)
+		}
+		p.BudgetMs = p.IdealDelayBudget()
+		flat, err := core.RetroFlowFlat(p)
+		if err != nil {
+			t.Fatalf("iter %d: flat: %v", it, err)
+		}
+		agg, ok, err := core.RetroFlowAgg(p)
+		if err != nil {
+			t.Fatalf("iter %d: agg: %v", it, err)
+		}
+		if !ok {
+			t.Fatalf("iter %d: problem unexpectedly not aggregable", it)
+		}
+		requireSameSolution(t, t.Name(), flat, agg)
+		requireSameReport(t, t.Name(), p, flat, agg, core.EvaluateOptions{})
+	}
 }
 
 // TestAggMatchesFlatRandom is the core equivalence property: on randomized

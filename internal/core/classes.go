@@ -263,6 +263,160 @@ func (r *Problem) DeriveResidualClasses(parent *Problem, excluded []bool) {
 	r.classes = ci
 }
 
+// deriveSliceClasses fills sub's class index from its parent's, where sub is
+// the slow-path Slice of p: swLocal maps parent switch → local switch (-1 =
+// dropped) and flowLocal maps parent flow → local flow (-1 = dropped). Members
+// of one parent class share a signature, so they share the slice-filtered
+// signature too — deriving the slice index regroups the parent's classes
+// (thousands) instead of re-hashing the surviving flows (potentially
+// millions), which is what keeps a multi-region hierarchical solve from
+// paying a fresh classIndexOf per region slice.
+//
+// A parent class whose template loses every pair contributes no flows — a
+// flow joins a slice only through a kept pair — and is dropped; conversely a
+// class with any kept pair keeps all its members (equal signatures). Local
+// switch and flow numbering are both ascending in parent order, so hashing
+// the local switch IDs reproduces classIndexOf's sort keys and member order
+// exactly: the derived index is identical, field for field, to a scratch
+// computation on sub (enforced by TestDeriveSliceClasses). The call is a
+// no-op when the parent's index is absent or unusable, or sub already has
+// one.
+func (sub *Problem) deriveSliceClasses(p *Problem, swLocal, flowLocal []int) {
+	pc := p.classes
+	if pc == nil || pc.numClasses <= 0 || sub.classes != nil {
+		return
+	}
+	nc := pc.numClasses
+
+	// The slice gathers pairs switch-major, so its per-flow signatures come
+	// out switch-ascending no matter how the parent ordered its Pairs. The
+	// parent's templates mirror the parent's order (Finalize never sorts);
+	// deriving is only faithful when the two orders agree, i.e. every parent
+	// template is switch-nondecreasing (ties keep global pair order in both).
+	// Scenario-built problems are switch-major by construction; on a hand-built
+	// parent that isn't, bail and let the sub index itself lazily.
+	for c := 0; c < nc; c++ {
+		for t := pc.tmplOff[c] + 1; t < pc.tmplOff[c+1]; t++ {
+			if pc.tmplSwitch[t] < pc.tmplSwitch[t-1] {
+				return
+			}
+		}
+	}
+
+	// Filtered-signature hash and length per parent class, folding the LOCAL
+	// switch IDs with the same FNV fold as classIndexOf so run order matches a
+	// scratch computation on sub.
+	hash := make([]uint64, nc)
+	flen := make([]int32, nc)
+	kept := 0
+	for c := 0; c < nc; c++ {
+		sw, pb := pc.template(int32(c))
+		h := uint64(1469598103934665603)
+		n := int32(0)
+		for t := range sw {
+			si := swLocal[sw[t]]
+			if si < 0 {
+				continue
+			}
+			h = (h ^ uint64(si)) * 1099511628211
+			h = (h ^ uint64(pb[t])) * 1099511628211
+			n++
+		}
+		hash[c] = h
+		flen[c] = n
+		if n > 0 {
+			kept++
+		}
+	}
+	cmp := func(a, b int32) int {
+		if flen[a] != flen[b] {
+			return int(flen[a] - flen[b])
+		}
+		swA, pbA := pc.template(a)
+		swB, pbB := pc.template(b)
+		tb := 0
+		for ta := range swA {
+			if swLocal[swA[ta]] < 0 {
+				continue
+			}
+			for swLocal[swB[tb]] < 0 {
+				tb++
+			}
+			if d := swLocal[swA[ta]] - swLocal[swB[tb]]; d != 0 {
+				return d
+			}
+			if pbA[ta] != pbB[tb] {
+				return int(pbA[ta] - pbB[tb])
+			}
+			tb++
+		}
+		return 0
+	}
+
+	order := make([]int32, 0, kept)
+	for c := 0; c < nc; c++ {
+		if flen[c] > 0 {
+			order = append(order, int32(c))
+		}
+	}
+	slices.SortFunc(order, func(a, b int32) int {
+		if hash[a] != hash[b] {
+			if hash[a] < hash[b] {
+				return -1
+			}
+			return 1
+		}
+		if c := cmp(a, b); c != 0 {
+			return c
+		}
+		return int(a - b)
+	})
+
+	ci := &classIndex{
+		classOf:   make([]int32, sub.NumFlows),
+		members:   make([]int32, 0, sub.NumFlows),
+		memberOff: make([]int32, 1, kept+1),
+		tmplOff:   make([]int32, 1, kept+1),
+	}
+	for idx := 0; idx < len(order); {
+		run := idx + 1
+		for run < len(order) && hash[order[run]] == hash[order[idx]] && cmp(order[run], order[idx]) == 0 {
+			run++
+		}
+		c := int32(ci.numClasses)
+		start := len(ci.members)
+		for _, pcls := range order[idx:run] {
+			lo, hi := pc.memberOff[pcls], pc.memberOff[pcls+1]
+			for _, l := range pc.members[lo:hi] {
+				ci.members = append(ci.members, int32(flowLocal[l]))
+			}
+		}
+		// Each parent class's members map to ascending local flow IDs
+		// (flowLocal is monotone on kept flows); a merged group needs one sort
+		// to restore the global ascending order of a scratch run.
+		if run-idx > 1 {
+			slices.Sort(ci.members[start:])
+		}
+		for _, sl := range ci.members[start:] {
+			ci.classOf[sl] = c
+		}
+		sw, pb := pc.template(order[idx])
+		for t := range sw {
+			si := swLocal[sw[t]]
+			if si < 0 {
+				continue
+			}
+			ci.tmplSwitch = append(ci.tmplSwitch, int32(si))
+			ci.tmplPBar = append(ci.tmplPBar, pb[t])
+		}
+		ci.memberOff = append(ci.memberOff, int32(len(ci.members)))
+		ci.tmplOff = append(ci.tmplOff, int32(len(ci.tmplSwitch)))
+		ci.numClasses++
+		idx = run
+	}
+	sub.classes = ci
+}
+
 // ClassCount returns the number of flow equivalence classes of a finalized
 // problem, or -1 when the problem cannot be class-aggregated (some flow has
 // more than 64 eligible pairs). It is a diagnostic for scale reporting —

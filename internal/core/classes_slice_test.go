@@ -1,0 +1,200 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"slices"
+	"testing"
+)
+
+// sortedRandomProblem is randomProblem with its pairs re-sorted switch-major
+// — the order scenario-built problems have and slice-class derivation
+// requires (a flow's CSR signature then matches the slice's switch-major
+// gather order).
+func sortedRandomProblem(t *testing.T, rng *rand.Rand) *Problem {
+	t.Helper()
+	p := randomProblem(rng)
+	slices.SortStableFunc(p.Pairs, func(a, b Pair) int {
+		if a.Switch != b.Switch {
+			return a.Switch - b.Switch
+		}
+		return a.Flow - b.Flow
+	})
+	if err := p.Finalize(); err != nil {
+		t.Fatalf("re-Finalize: %v", err)
+	}
+	return p
+}
+
+// sliceMaps rebuilds the swLocal/flowLocal maps Slice computes internally for
+// a keepSwitch restriction that keeps every controller, so the test can call
+// deriveSliceClasses the way the slow path does.
+func sliceMaps(p *Problem, keepSwitch []bool) (swLocal, flowLocal []int) {
+	swLocal = make([]int, p.NumSwitches)
+	next := 0
+	for i := range swLocal {
+		swLocal[i] = -1
+		if keepSwitch[i] {
+			swLocal[i] = next
+			next++
+		}
+	}
+	flowLocal = make([]int, p.NumFlows)
+	for l := range flowLocal {
+		flowLocal[l] = -1
+	}
+	for _, pr := range p.Pairs {
+		if keepSwitch[pr.Switch] {
+			flowLocal[pr.Flow] = 0
+		}
+	}
+	next = 0
+	for l := range flowLocal {
+		if flowLocal[l] == 0 {
+			flowLocal[l] = next
+			next++
+		}
+	}
+	return swLocal, flowLocal
+}
+
+// TestDeriveSliceClasses asserts that the class index a slow-path Slice
+// derives from its parent's is identical, field for field, to the index
+// classIndexOf computes from scratch on the sub-problem — including group
+// order, member order, and templates — across random switch restrictions.
+func TestDeriveSliceClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	keepCtl := func(m int) []bool {
+		keep := make([]bool, m)
+		for j := range keep {
+			keep[j] = true
+		}
+		return keep
+	}
+	tried := 0
+	for trial := 0; tried < 300; trial++ {
+		p := sortedRandomProblem(t, rng)
+		if p.classIndexOf() == nil {
+			t.Fatalf("trial %d: parent index unusable", trial)
+		}
+		keepSwitch := make([]bool, p.NumSwitches)
+		any := false
+		strict := false
+		for i := range keepSwitch {
+			keepSwitch[i] = rng.Intn(3) != 0
+			if keepSwitch[i] {
+				any = true
+			} else {
+				strict = true
+			}
+		}
+		if !any || !strict {
+			continue // all-kept hits the fast path; none-kept has no slice
+		}
+
+		sl, err := p.Slice(keepSwitch, keepCtl(p.NumControllers))
+		if err != nil {
+			t.Fatalf("trial %d: Slice: %v", trial, err)
+		}
+		if sl == nil {
+			continue // no pair survived
+		}
+		tried++
+		derived := sl.Sub.classes
+		if derived == nil {
+			t.Fatalf("trial %d: slice did not derive a class index from a usable parent", trial)
+		}
+
+		// Scratch: same sub content, index computed from nothing.
+		scratch := &Problem{
+			NumSwitches:    sl.Sub.NumSwitches,
+			NumControllers: sl.Sub.NumControllers,
+			NumFlows:       sl.Sub.NumFlows,
+			Pairs:          append([]Pair(nil), sl.Sub.Pairs...),
+			Rest:           append([]int(nil), sl.Sub.Rest...),
+			Gamma:          append([]int(nil), sl.Sub.Gamma...),
+			Delay:          append([][]float64(nil), sl.Sub.Delay...),
+			Lambda:         sl.Sub.Lambda,
+		}
+		if err := scratch.Finalize(); err != nil {
+			t.Fatalf("trial %d: scratch Finalize: %v", trial, err)
+		}
+		want := scratch.classIndexOf()
+		if want == nil {
+			t.Fatalf("trial %d: scratch index unusable", trial)
+		}
+		if !reflect.DeepEqual(normalizeClassIndex(want), normalizeClassIndex(derived)) {
+			t.Fatalf("trial %d: derived slice index differs from scratch:\nscratch: %+v\nderived: %+v",
+				trial, want, derived)
+		}
+	}
+}
+
+// TestDeriveSliceClassesNoop covers the guards: no derivation without a
+// computed parent index, and no overwrite of an existing sub index.
+func TestDeriveSliceClassesNoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := sortedRandomProblem(t, rng)
+	keepSwitch := make([]bool, p.NumSwitches)
+	keepSwitch[0] = true
+	keepCtl := make([]bool, p.NumControllers)
+	for j := range keepCtl {
+		keepCtl[j] = true
+	}
+
+	sl, err := p.Slice(keepSwitch, keepCtl) // parent index never computed
+	if err != nil {
+		t.Fatalf("Slice: %v", err)
+	}
+	if sl != nil && sl.Sub.classes != nil {
+		t.Fatal("derivation ran without a parent index")
+	}
+
+	if p.classIndexOf() == nil {
+		t.Fatal("parent index unusable")
+	}
+	swLocal, flowLocal := sliceMaps(p, keepSwitch)
+	sl2, err := p.Slice(keepSwitch, keepCtl)
+	if err != nil || sl2 == nil {
+		t.Fatalf("Slice: %v (sl=%v)", err, sl2)
+	}
+	own := sl2.Sub.classes
+	if own == nil {
+		t.Fatal("slice did not derive with a usable parent index")
+	}
+	sl2.Sub.deriveSliceClasses(p, swLocal, flowLocal)
+	if sl2.Sub.classes != own {
+		t.Fatal("derivation overwrote an existing index")
+	}
+}
+
+// TestDeriveSliceClassesUnsortedParent asserts the safety guard: a parent
+// whose pairs are not switch-major has per-flow signatures that will not
+// match the slice's switch-major gather order, so derivation must bail and
+// leave the sub to index itself lazily.
+func TestDeriveSliceClassesUnsortedParent(t *testing.T) {
+	p := &Problem{
+		NumSwitches:    2,
+		NumControllers: 1,
+		NumFlows:       1,
+		Rest:           []int{4},
+		Gamma:          []int{2, 2},
+		Delay:          [][]float64{{1}, {1}},
+		// Switch-descending for the one flow: CSR signature is (1,·),(0,·).
+		Pairs: []Pair{{Switch: 1, Flow: 0, PBar: 3}, {Switch: 0, Flow: 0, PBar: 2}},
+	}
+	if err := p.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	p.BudgetMs = p.IdealDelayBudget()
+	if p.classIndexOf() == nil {
+		t.Fatal("parent index unusable")
+	}
+	sl, err := p.Slice([]bool{true, false}, []bool{true})
+	if err != nil || sl == nil {
+		t.Fatalf("Slice: %v (sl=%v)", err, sl)
+	}
+	if sl.Sub.classes != nil {
+		t.Fatal("derivation ran on an unsorted parent")
+	}
+}

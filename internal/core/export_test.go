@@ -5,8 +5,9 @@ package core
 // dispatch thresholds in PM/PG.
 
 var (
-	PMFlat = pmFlat
-	PGFlat = pgFlat
+	PMFlat        = pmFlat
+	PGFlat        = pgFlat
+	RetroFlowFlat = retroFlowFlat
 )
 
 // PMAgg forces the aggregated PM path; it returns false when the problem has
@@ -27,6 +28,16 @@ func PGAgg(p *Problem) (*Solution, bool, error) {
 		return nil, false, nil
 	}
 	s, err := pgAgg(p, ci)
+	return s, true, err
+}
+
+// RetroFlowAgg forces the aggregated RetroFlow path.
+func RetroFlowAgg(p *Problem) (*Solution, bool, error) {
+	ci := p.classIndexOf()
+	if ci == nil {
+		return nil, false, nil
+	}
+	s, err := retroFlowAgg(p, ci)
 	return s, true, err
 }
 

@@ -1,0 +1,129 @@
+package core
+
+import "fmt"
+
+// ImproveOptions tunes Improve.
+type ImproveOptions struct {
+	// MaxRounds bounds the number of fill/rebalance/upgrade rounds; 0 selects
+	// the same 64-round cap PM's own final pass uses. The deadline is
+	// expressed in rounds, not wall time, so a run is deterministic given the
+	// solution it starts from and the round budget it gets.
+	MaxRounds int
+	// Stop, when non-nil, is polled before each round; returning true stops
+	// the improver at the last completed round. It is the hook for wall-clock
+	// deadlines — but note that a time-based Stop trades the determinism a
+	// pure round budget gives.
+	Stop func() bool
+}
+
+// improveDefaultRounds mirrors pmFlat's final-pass round cap.
+const improveDefaultRounds = 64
+
+// Improve runs PM's final utilization pass as a standalone anytime refiner on
+// an existing per-flow, switch-mapping solution: per-switch local moves
+// (whole-switch rebalancing between controllers), pair fills in global
+// p̄-descending order, and same-flow pair upgrades — all against the global
+// programmability objective. The hierarchical planner calls it after merging
+// per-region solutions, where the cross-region moves it discovers are exactly
+// the refinement a region-local solve cannot see.
+//
+// Every round is monotone: fills only add programmability, upgrades swap a
+// flow's active pair for a strictly higher-p̄ one, and rebalancing moves a
+// switch only when the move funds strictly more of its inactive pairs. A
+// flow's programmability therefore never decreases, so neither objective term
+// can worsen — the property TestImproveMonotonic pins.
+//
+// Improve returns the number of rounds it ran. Starting from a quiescent PM
+// solution it is a no-op (0 effective changes), which keeps the K=1
+// hierarchical solve byte-identical to flat PM.
+func Improve(p *Problem, s *Solution, opts ImproveOptions) (int, error) {
+	if !p.finalized() {
+		return 0, fmt.Errorf("%w: problem not finalized", ErrInvalidProblem)
+	}
+	if s.SwitchLevel || s.PairController != nil {
+		return 0, fmt.Errorf("%w: Improve needs a per-flow switch-mapping solution", ErrInvalidProblem)
+	}
+	if len(s.SwitchController) != p.NumSwitches || len(s.Active) != len(p.Pairs) {
+		return 0, fmt.Errorf("%w: solution shape does not match problem", ErrInfeasible)
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = improveDefaultRounds
+	}
+
+	sc := scratchPool.Get().(*solverScratch)
+	defer scratchPool.Put(sc)
+
+	// Reconstruct the solver-internal state pmFlat ends with: residual
+	// capacity, per-flow programmability, and per-flow inactive-pair counts.
+	rest := grabInts(&sc.rest, p.NumControllers)
+	copy(rest, p.Rest)
+	h := grabInts(&sc.h, p.NumFlows)
+	alternatives := grabInts(&sc.alternatives, p.NumFlows)
+	for k, pr := range p.Pairs {
+		if s.Active[k] {
+			j := s.SwitchController[pr.Switch]
+			if j < 0 || j >= p.NumControllers {
+				return 0, fmt.Errorf("%w: active pair %d at unmapped switch %d", ErrInfeasible, k, pr.Switch)
+			}
+			rest[j]--
+			h[pr.Flow] += pr.PBar
+		} else {
+			alternatives[pr.Flow]++
+		}
+	}
+	for j, r := range rest {
+		if r < 0 {
+			return 0, fmt.Errorf("%w: controller %d over capacity before improvement", ErrInfeasible, j)
+		}
+	}
+	// Unmapped switches stay unmapped: PM only unmaps a switch after proving
+	// no controller can fund any of its pairs, and re-mapping one here would
+	// open upgrade swaps PM's own configuration never saw — breaking the
+	// Improve-is-a-no-op-after-PM property. Adopting stranded switches across
+	// capacity boundaries is the hierarchical coordinator's job, not the
+	// improver's.
+	byPBar := pairsByPBarDesc(p, sc)
+	rounds := 0
+	for ; rounds < maxRounds; rounds++ {
+		if opts.Stop != nil && opts.Stop() {
+			break
+		}
+		filled := false
+		for _, k := range byPBar {
+			if s.Active[k] {
+				continue
+			}
+			j0 := s.SwitchController[p.Pairs[k].Switch]
+			if j0 >= 0 && rest[j0] > 0 {
+				l := p.Pairs[k].Flow
+				rest[j0]--
+				h[l] += p.Pairs[k].PBar
+				alternatives[l]--
+				s.Active[k] = true
+				filled = true
+			}
+		}
+		moved := rebalanceFlat(p, s, sc, rest)
+		upgraded := upgrade(p, s, rest, h, alternatives)
+		if !filled && !moved && !upgraded {
+			rounds++
+			break
+		}
+	}
+
+	// Re-establish PM's terminal invariant: a switch with no active pair
+	// stays unmapped.
+	activeAt := grabBools(&sc.activeAt, p.NumSwitches)
+	for k, on := range s.Active {
+		if on {
+			activeAt[p.Pairs[k].Switch] = true
+		}
+	}
+	for i := range s.SwitchController {
+		if !activeAt[i] {
+			s.SwitchController[i] = -1
+		}
+	}
+	return rounds, nil
+}

@@ -19,10 +19,22 @@ import (
 // controller still fits them. Switches whose γ_i exceeds every controller's
 // residual capacity can never be remapped — the coarse granularity that PM's
 // per-flow mode selection removes.
+//
+// Like PM and PG, RetroFlow dispatches to a class-aggregated implementation
+// (retroflow_agg.go) on large, compressible instances; the two paths produce
+// byte-identical Solutions (TestRetroFlowAggMatchesFlatRandom).
 func RetroFlow(p *Problem) (*Solution, error) {
 	if !p.finalized() {
 		return nil, fmt.Errorf("%w: problem not finalized", ErrInvalidProblem)
 	}
+	if ci := p.aggClassIndex(); ci != nil {
+		return retroFlowAgg(p, ci)
+	}
+	return retroFlowFlat(p)
+}
+
+// retroFlowFlat is the per-flow reference implementation of RetroFlow.
+func retroFlowFlat(p *Problem) (*Solution, error) {
 	start := time.Now()
 	s := NewSolution("RetroFlow", p)
 	s.SwitchLevel = true

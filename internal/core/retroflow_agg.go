@@ -1,0 +1,153 @@
+package core
+
+import "time"
+
+// retroFlowAgg is the class-aggregated RetroFlow path. RetroFlow is switch-
+// level: a remapped switch activates every eligible pair located there and
+// covers every flow owning one. Flows of one equivalence class share their
+// switch set, so whenever a remap covers one member it covers the whole class
+// — coverage is class-uniform — and the greedy's two scores collapse to
+// per-class terms:
+//
+//	uncoveredGain(i) = Σ_{classes c at i, uncovered} |members(c)|
+//	pbarSum(i)       = Σ_{(c,t) at i} p̄(c,t) · |members(c)|   (static)
+//
+// The selection loop then runs over N switches and the per-switch class lists
+// (~10³ entries) instead of per-flow pair lists (~10⁶), while the emitted
+// Solution stays byte-identical to retroFlowFlat: the same switches are
+// picked in the same order with the same controllers, and a remap writes the
+// same Active bits — only batched per class template instead of per pair.
+func retroFlowAgg(p *Problem, ci *classIndex) (*Solution, error) {
+	start := time.Now()
+	s := NewSolution("RetroFlow", p)
+	s.SwitchLevel = true
+
+	rest := make([]int, p.NumControllers)
+	copy(rest, p.Rest)
+	covered := make([]bool, ci.numClasses)
+	mapped := make([]bool, p.NumSwitches)
+
+	// Switch → (class, bit) CSR, the aggregated counterpart of PairsAtSwitch.
+	// Template switches are unique within a class, so each (class, switch)
+	// contributes exactly one entry.
+	swOff := make([]int32, p.NumSwitches+1)
+	for _, sw := range ci.tmplSwitch {
+		swOff[sw+1]++
+	}
+	for i := 0; i < p.NumSwitches; i++ {
+		swOff[i+1] += swOff[i]
+	}
+	swClass := make([]int32, len(ci.tmplSwitch))
+	swBit := make([]int32, len(ci.tmplSwitch))
+	cur := make([]int32, p.NumSwitches)
+	copy(cur, swOff[:p.NumSwitches])
+	for c := int32(0); c < int32(ci.numClasses); c++ {
+		sw, _ := ci.template(c)
+		for t, sloc := range sw {
+			swClass[cur[sloc]] = c
+			swBit[cur[sloc]] = int32(t)
+			cur[sloc]++
+		}
+	}
+	members := func(c int32) int {
+		return int(ci.memberOff[c+1] - ci.memberOff[c])
+	}
+
+	// Phase-2 score is coverage-independent: precompute it once.
+	pbarSums := make([]int, p.NumSwitches)
+	for i := 0; i < p.NumSwitches; i++ {
+		sum := 0
+		for x := swOff[i]; x < swOff[i+1]; x++ {
+			_, pbar := ci.template(swClass[x])
+			sum += int(pbar[swBit[x]]) * members(swClass[x])
+		}
+		pbarSums[i] = sum
+	}
+
+	fitController := func(i int) int {
+		for _, j := range p.NearestControllers(i) {
+			if rest[j] >= p.Gamma[i] {
+				return j
+			}
+		}
+		return -1
+	}
+	uncoveredGain := func(i int) int {
+		gain := 0
+		for x := swOff[i]; x < swOff[i+1]; x++ {
+			if c := swClass[x]; !covered[c] {
+				gain += members(c)
+			}
+		}
+		return gain
+	}
+	remap := func(i, j int) {
+		mapped[i] = true
+		s.SwitchController[i] = j
+		rest[j] -= p.Gamma[i]
+		for x := swOff[i]; x < swOff[i+1]; x++ {
+			c, t := swClass[x], swBit[x]
+			covered[c] = true
+			for _, l := range ci.members[ci.memberOff[c]:ci.memberOff[c+1]] {
+				s.Active[p.pairOf(l, t)] = true
+			}
+		}
+	}
+
+	// Phase 1: coverage by uncovered-flow density.
+	for {
+		bestSwitch, bestController := -1, -1
+		var bestNum, bestDen int
+		for i := 0; i < p.NumSwitches; i++ {
+			if mapped[i] || p.Gamma[i] == 0 {
+				continue
+			}
+			gain := uncoveredGain(i)
+			if gain == 0 {
+				continue
+			}
+			j := fitController(i)
+			if j < 0 {
+				continue
+			}
+			if bestSwitch < 0 || gain*bestDen > bestNum*p.Gamma[i] {
+				bestSwitch, bestController = i, j
+				bestNum, bestDen = gain, p.Gamma[i]
+			}
+		}
+		if bestSwitch < 0 {
+			break
+		}
+		remap(bestSwitch, bestController)
+	}
+
+	// Phase 2: utilization by programmability density while anything fits.
+	for {
+		bestSwitch, bestController := -1, -1
+		var bestNum, bestDen int
+		for i := 0; i < p.NumSwitches; i++ {
+			if mapped[i] || p.Gamma[i] == 0 {
+				continue
+			}
+			sum := pbarSums[i]
+			if sum == 0 {
+				continue
+			}
+			j := fitController(i)
+			if j < 0 {
+				continue
+			}
+			if bestSwitch < 0 || sum*bestDen > bestNum*p.Gamma[i] {
+				bestSwitch, bestController = i, j
+				bestNum, bestDen = sum, p.Gamma[i]
+			}
+		}
+		if bestSwitch < 0 {
+			break
+		}
+		remap(bestSwitch, bestController)
+	}
+
+	s.Runtime = time.Since(start)
+	return s, nil
+}

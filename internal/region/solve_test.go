@@ -1,0 +1,240 @@
+package region
+
+import (
+	"sync"
+	"testing"
+
+	"pmedic/internal/core"
+	"pmedic/internal/flow"
+	"pmedic/internal/scenario"
+	"pmedic/internal/topo"
+)
+
+func attFixtures(t *testing.T) (*topo.Deployment, *flow.Set) {
+	t.Helper()
+	dep, err := topo.ATT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := flow.Generate(dep.Graph, flow.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dep, flows
+}
+
+// hierFixtures builds the clustered synthetic WAN the hierarchy tests share:
+// 120 nodes, 12 controllers, 4 natural clusters, capacity sized at 1.5x the
+// heaviest domain load (the same two-pass sizing pmsim's scale mode uses).
+// Everything is seeded, so the fixture is deterministic across runs.
+var (
+	hierOnce  sync.Once
+	hierDep   *topo.Deployment
+	hierFlows *flow.Set
+	hierErr   error
+)
+
+func hierFixtures(t *testing.T) (*topo.Deployment, *flow.Set) {
+	t.Helper()
+	hierOnce.Do(func() {
+		opts := topo.SyntheticOpts{Seed: 5, Regions: 4}
+		dep, err := topo.SyntheticWithOpts(120, 12, 1, opts)
+		if err != nil {
+			hierErr = err
+			return
+		}
+		flows, err := flow.Generate(dep.Graph, flow.Options{})
+		if err != nil {
+			hierErr = err
+			return
+		}
+		maxLoad := 0
+		for _, c := range dep.Controllers {
+			load := 0
+			for _, sw := range c.Domain {
+				load += flows.SwitchFlowCount(sw)
+			}
+			if load > maxLoad {
+				maxLoad = load
+			}
+		}
+		hierDep, hierErr = topo.SyntheticWithOpts(120, 12, maxLoad+maxLoad/2+1, opts)
+		hierFlows = flows
+	})
+	if hierErr != nil {
+		t.Fatal(hierErr)
+	}
+	return hierDep, hierFlows
+}
+
+func requireSameSolution(t *testing.T, label string, a, b *core.Solution) {
+	t.Helper()
+	if a.SwitchLevel != b.SwitchLevel || a.MiddleLayer != b.MiddleLayer {
+		t.Fatalf("%s: solution modes differ", label)
+	}
+	if (a.PairController == nil) != (b.PairController == nil) {
+		t.Fatalf("%s: PairController presence differs", label)
+	}
+	for i := range a.SwitchController {
+		if a.SwitchController[i] != b.SwitchController[i] {
+			t.Fatalf("%s: switch %d mapped to %d vs %d", label, i, a.SwitchController[i], b.SwitchController[i])
+		}
+	}
+	for k := range a.Active {
+		if a.Active[k] != b.Active[k] {
+			t.Fatalf("%s: pair %d active %v vs %v", label, k, a.Active[k], b.Active[k])
+		}
+	}
+}
+
+// TestHierK1MatchesFlatPM pins the degenerate hierarchy: with one region the
+// slice is the whole problem, the coordinator has nothing to move, and the
+// improver starts from PM quiescence — so the hierarchical solve must be
+// byte-identical to flat core.PM, with and without improver rounds.
+func TestHierK1MatchesFlatPM(t *testing.T) {
+	dep, flows := attFixtures(t)
+	part, err := New(dep, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := scenario.NewContext(dep, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := scenario.Combinations(len(dep.Controllers), 1)
+	cases = append(cases, []int{0, 1}, []int{2, 4}, []int{3, 5})
+	for _, failed := range cases {
+		inst, err := ctx.Build(failed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat, err := core.PM(inst.Problem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rounds := range []int{0, 8} {
+			hier, err := SolvePM(inst, part, SolveOptions{Workers: 3, ImproveRounds: rounds})
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameSolution(t, inst.Label(), flat, hier)
+		}
+	}
+}
+
+// TestHierDeterministicAcrossWorkers requires the hierarchical solve to be
+// byte-identical for any worker-pool width (the CI hierarchy job runs this
+// under -race).
+func TestHierDeterministicAcrossWorkers(t *testing.T) {
+	dep, flows := hierFixtures(t)
+	part, err := New(dep, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := scenario.NewContext(dep, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, failed := range [][]int{{0}, {5}, {3, 7}, {1, 10}, {2, 6, 11}} {
+		inst, err := ctx.Build(failed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := SolvePM(inst, part, SolveOptions{Workers: 1, ImproveRounds: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			got, err := SolvePM(inst, part, SolveOptions{Workers: workers, ImproveRounds: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameSolution(t, inst.Label(), base, got)
+		}
+	}
+}
+
+// TestHierQualityGap measures the price of sharding on the clustered WAN:
+// over all single-failure cases, the K=4 hierarchical solve must stay
+// feasible and recover at least 90% of flat PM's total programmability and
+// recovered flows, per case. (Empirically the gap is far smaller — the
+// coordinator hands border switches to spare capacity — but 90% is the bound
+// this test and DESIGN.md §15 commit to.)
+func TestHierQualityGap(t *testing.T) {
+	dep, flows := hierFixtures(t)
+	part, err := New(dep, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := scenario.NewContext(dep, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < len(dep.Controllers); j++ {
+		inst, err := ctx.Build([]int{j})
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat, err := core.PM(inst.Problem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flatRep, err := inst.Evaluate(flat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hier, err := SolvePM(inst, part, SolveOptions{ImproveRounds: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hierRep, err := inst.Evaluate(hier)
+		if err != nil {
+			t.Fatalf("%s: hierarchical solution infeasible: %v", inst.Label(), err)
+		}
+		if 10*hierRep.TotalProg < 9*flatRep.TotalProg {
+			t.Fatalf("%s: hier TotalProg %d below 90%% of flat %d", inst.Label(), hierRep.TotalProg, flatRep.TotalProg)
+		}
+		if 10*hierRep.RecoveredFlows < 9*flatRep.RecoveredFlows {
+			t.Fatalf("%s: hier recovered %d below 90%% of flat %d", inst.Label(), hierRep.RecoveredFlows, flatRep.RecoveredFlows)
+		}
+	}
+}
+
+// TestHierImproveHelps checks the improver is worth its rounds: with the
+// improver on, the objective is never worse than with it off.
+func TestHierImproveHelps(t *testing.T) {
+	dep, flows := hierFixtures(t)
+	part, err := New(dep, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := scenario.NewContext(dep, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, failed := range [][]int{{0}, {4}, {2, 9}} {
+		inst, err := ctx.Build(failed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := SolvePM(inst, part, SolveOptions{ImproveRounds: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		improved, err := SolvePM(inst, part, SolveOptions{ImproveRounds: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plainRep, err := inst.Evaluate(plain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		improvedRep, err := inst.Evaluate(improved)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if improvedRep.Objective < plainRep.Objective {
+			t.Fatalf("%s: improver regressed objective %.4f -> %.4f", inst.Label(), plainRep.Objective, improvedRep.Objective)
+		}
+	}
+}

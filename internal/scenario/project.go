@@ -1,0 +1,68 @@
+package scenario
+
+import "fmt"
+
+// Projection maps one compiled Instance onto an externally supplied grouping
+// of the deployment — in practice the region partition of the hierarchical
+// planner (internal/region), which scenario must not import. The grouping is
+// given in deployment coordinates (per WAN node, per deployment controller);
+// the projection translates it into the instance's dense problem indexing and
+// records which groups the failure actually touches, so a k-controller
+// failure only re-solves the regions holding offline switches.
+type Projection struct {
+	// Groups is the number of groups the deployment was partitioned into.
+	Groups int
+	// SwitchGroup[i] is the group of the instance's offline switch i
+	// (problem switch indexing).
+	SwitchGroup []int
+	// ControllerGroup[jj] is the group of the instance's active controller jj
+	// (problem controller indexing).
+	ControllerGroup []int
+	// Touched lists the groups holding at least one offline switch,
+	// ascending. Groups outside Touched need no re-solve: none of their
+	// switches lost control.
+	Touched []int
+}
+
+// Project translates a deployment-level grouping into this instance's problem
+// indexing. nodeGroup is indexed by topo.NodeID over all WAN nodes, ctrlGroup
+// by deployment controller index; both must assign every index a group in
+// [0, groups).
+func (inst *Instance) Project(nodeGroup, ctrlGroup []int, groups int) (*Projection, error) {
+	if groups <= 0 {
+		return nil, fmt.Errorf("%w: %d groups", ErrBadCase, groups)
+	}
+	if n := inst.Dep.Graph.NumNodes(); len(nodeGroup) != n {
+		return nil, fmt.Errorf("%w: nodeGroup covers %d of %d nodes", ErrBadCase, len(nodeGroup), n)
+	}
+	if m := len(inst.Dep.Controllers); len(ctrlGroup) != m {
+		return nil, fmt.Errorf("%w: ctrlGroup covers %d of %d controllers", ErrBadCase, len(ctrlGroup), m)
+	}
+	proj := &Projection{
+		Groups:          groups,
+		SwitchGroup:     make([]int, len(inst.Switches)),
+		ControllerGroup: make([]int, len(inst.Active)),
+	}
+	touched := make([]bool, groups)
+	for i, sw := range inst.Switches {
+		r := nodeGroup[sw]
+		if r < 0 || r >= groups {
+			return nil, fmt.Errorf("%w: node %d in group %d of %d", ErrBadCase, sw, r, groups)
+		}
+		proj.SwitchGroup[i] = r
+		touched[r] = true
+	}
+	for jj, j := range inst.Active {
+		r := ctrlGroup[j]
+		if r < 0 || r >= groups {
+			return nil, fmt.Errorf("%w: controller %d in group %d of %d", ErrBadCase, j, r, groups)
+		}
+		proj.ControllerGroup[jj] = r
+	}
+	for r, t := range touched {
+		if t {
+			proj.Touched = append(proj.Touched, r)
+		}
+	}
+	return proj, nil
+}
