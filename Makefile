@@ -24,6 +24,11 @@ test-race:
 # -benchmem for B/op and allocs/op) and writes the raw `go test -json` stream
 # to BENCH_<n>.json, where n is one past the highest existing baseline —
 # compare files across commits to track drift.
+#
+# BENCH_<n>.json numbering is append-only: never renumber or overwrite a
+# committed baseline. benchdiff and bench-gate always compare against the
+# highest-numbered file, so each `make bench` extends the trajectory
+# (BENCH_1 → BENCH_2 → …) and history stays diffable across commits.
 bench:
 	@n=1; while [ -e "BENCH_$$n.json" ]; do n=$$((n+1)); done; \
 	out="BENCH_$$n.json"; \
@@ -38,13 +43,14 @@ bench-diff:
 # bench-gate re-runs the Fig. 5 sweep benchmarks, the Fig. 7 solver bench
 # (which has a fixed branch-&-bound node budget, so its ns/op tracks solver
 # throughput), the hot-path allocation benches (core.PM and warm
-# Context.Build), the million-flow scale bench, the plan-store benches, and
-# the hierarchical-planning benches (the 1000-node sweep, whose multi-second
+# Context.Build), the million-flow scale bench, the plan-store benches, the
+# hierarchical-planning benches (the 1000-node sweep, whose multi-second
 # iterations are robust by construction, and the min-ns-contention-robust
-# partitioner), and fails if any of them regressed by more than
-# 20% ns/op — or 10% allocs/op — against the newest committed BENCH_<n>.json
-# baseline. CI runs this on every change.
-GATE_BENCHES = BenchmarkFig5|BenchmarkFig7ComputationTime|BenchmarkAlgorithmPM$$|BenchmarkScenarioContextBuild$$|BenchmarkMillionFlow$$|BenchmarkPlanStoreLookup$$|BenchmarkPlanStoreCompile$$|BenchmarkHierarchical1000$$|BenchmarkRegionPartition$$
+# partitioner), and the delta-sweep engine bench (min-ns robust, with the
+# scratch engine measured alongside as scratch-ns), and fails if any of them
+# regressed by more than 20% ns/op — or 10% allocs/op — against the newest
+# committed BENCH_<n>.json baseline. CI runs this on every change.
+GATE_BENCHES = BenchmarkFig5|BenchmarkFig7ComputationTime|BenchmarkAlgorithmPM$$|BenchmarkScenarioContextBuild$$|BenchmarkMillionFlow$$|BenchmarkPlanStoreLookup$$|BenchmarkPlanStoreCompile$$|BenchmarkHierarchical1000$$|BenchmarkRegionPartition$$|BenchmarkSweepDelta$$
 
 bench-gate:
 	@base=""; n=1; while [ -e "BENCH_$$n.json" ]; do base="BENCH_$$n.json"; n=$$((n+1)); done; \

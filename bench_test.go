@@ -11,6 +11,7 @@ import (
 	"math"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -976,6 +977,89 @@ func BenchmarkPlanStoreLookup(b *testing.B) {
 		b.ReportMetric(perLookup, "ns/op")
 		b.ReportMetric(solveNs/perLookup, "solve-speedup-x")
 	}
+}
+
+// sweepDeltaFixture compiles the delta-sweep bench input once: a 100-node /
+// 8-controller synthetic WAN (~9 900 all-pairs flows) whose depth-3 failure
+// enumeration (56 cases) is deep enough that Gray-adjacent cases share two
+// of their three failed domains.
+var sweepDeltaOnce struct {
+	sync.Once
+	ctx    *scenario.Context
+	combos [][]int
+	err    error
+}
+
+func sweepDeltaFixture(b *testing.B) (*scenario.Context, [][]int) {
+	b.Helper()
+	sweepDeltaOnce.Do(func() {
+		dep, err := topo.Synthetic(100, 8, 12000)
+		if err != nil {
+			sweepDeltaOnce.err = err
+			return
+		}
+		flows, err := flow.Generate(dep.Graph, flow.Options{})
+		if err != nil {
+			sweepDeltaOnce.err = err
+			return
+		}
+		ctx, err := scenario.NewContext(dep, flows)
+		if err != nil {
+			sweepDeltaOnce.err = err
+			return
+		}
+		sweepDeltaOnce.ctx = ctx
+		sweepDeltaOnce.combos = scenario.Combinations(len(dep.Controllers), 3)
+	})
+	if sweepDeltaOnce.err != nil {
+		b.Fatal(sweepDeltaOnce.err)
+	}
+	return sweepDeltaOnce.ctx, sweepDeltaOnce.combos
+}
+
+// BenchmarkSweepDelta prices case compilation through the two sweep engines
+// on the same depth-3 enumeration: ns/op is the delta engine's full-sweep
+// time (min over iterations, robust to host contention), scratch-ns the
+// reference engine measured in the same iterations, and delta-speedup-x
+// their ratio. fn is a trivial consistency check so the numbers isolate
+// compilation: with real solves the delta win narrows toward the
+// compile/solve ratio, and the pipelining hides most of the compile cost
+// behind the solves.
+func BenchmarkSweepDelta(b *testing.B) {
+	ctx, combos := sweepDeltaFixture(b)
+	run := func(mode eval.SweepMode) time.Duration {
+		var flowsSeen atomic.Int64
+		t0 := time.Now()
+		err := eval.ForEachCaseMode(ctx, combos, 0, mode, func(idx int, inst *scenario.Instance) error {
+			if inst.Problem.NumFlows == 0 {
+				return fmt.Errorf("case %v compiled empty", combos[idx])
+			}
+			flowsSeen.Add(int64(inst.Problem.NumFlows))
+			return nil
+		})
+		d := time.Since(t0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if flowsSeen.Load() == 0 {
+			b.Fatal("sweep visited no flows")
+		}
+		return d
+	}
+	minDelta, minScratch := math.MaxFloat64, math.MaxFloat64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := float64(run(eval.SweepDelta).Nanoseconds()); d < minDelta {
+			minDelta = d
+		}
+		if d := float64(run(eval.SweepScratch).Nanoseconds()); d < minScratch {
+			minScratch = d
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(minDelta, "ns/op")
+	b.ReportMetric(minScratch, "scratch-ns")
+	b.ReportMetric(minScratch/minDelta, "delta-speedup-x")
 }
 
 // BenchmarkPlanStoreCompile measures the offline cost the lookup path

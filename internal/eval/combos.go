@@ -1,0 +1,197 @@
+package eval
+
+// Revolving-door combination enumeration for the delta-sweep engine.
+//
+// scenario.Combinations emits the C(m, k) failure cases in lexicographic
+// order — the order every result slice, plan-store index, and figure row is
+// defined in. That order is hostile to incremental compilation: consecutive
+// lexicographic combinations can differ in every position. The revolving-door
+// Gray code (Nijenhuis & Wilf's algorithm, here in its recursive form) visits
+// the same C(m, k) subsets in an order where adjacent subsets differ by
+// exactly one element swapped — remove one controller, add another — which is
+// the precondition for scenario.Context's delta-compile path to share almost
+// all of its candidate-flow and pair bookkeeping between neighbors.
+//
+// The engine never reorders *results*: it compiles cases in revolving-door
+// order but hands each instance to the caller under the case's original
+// index, and LexRank is the deterministic bijection tying the two orders
+// together. Ordering is therefore purely a performance hint; output stays
+// byte-identical to a lexicographic scratch sweep.
+
+// GrayCombinations returns all k-subsets of {0..m-1} (each sorted ascending)
+// in revolving-door Gray order: the first subset is {0..k-1}, and every
+// adjacent pair of subsets differs by exactly one swapped element
+// (|symmetric difference| = 2). It enumerates exactly the subsets
+// scenario.Combinations does, just in a different order; LexRank maps each
+// one back to its lexicographic position.
+func GrayCombinations(m, k int) [][]int {
+	if k < 0 || k > m || m < 0 {
+		return nil
+	}
+	return grayGen(m, k)
+}
+
+// grayGen is the recursive revolving-door construction:
+//
+//	R(n, k) = R(n-1, k) ++ reverse(R(n-1, k-1)) each ∪ {n-1}
+//
+// with R(n, 0) = [{}] and R(n, n) = [{0..n-1}]. The seam is a single swap:
+// R(n-1, k) ends at {0..k-2, n-2} and reverse(R(n-1, k-1)) starts at
+// {0..k-2}, so the first appended subset is {0..k-2, n-1}.
+func grayGen(n, k int) [][]int {
+	if k == 0 {
+		return [][]int{{}}
+	}
+	if k == n {
+		c := make([]int, n)
+		for i := range c {
+			c[i] = i
+		}
+		return [][]int{c}
+	}
+	out := grayGen(n-1, k)
+	tail := grayGen(n-1, k-1)
+	for i := len(tail) - 1; i >= 0; i-- {
+		c := make([]int, 0, k)
+		c = append(c, tail[i]...)
+		c = append(c, n-1)
+		out = append(out, c)
+	}
+	return out
+}
+
+// LexRank returns the position of the sorted combination c (a subset of
+// {0..m-1}) in the lexicographic enumeration order of scenario.Combinations:
+// the combinadic rank Σ over positions of the subsets skipped by choosing
+// c[i] instead of each smaller still-available value.
+func LexRank(m int, c []int) int {
+	k := len(c)
+	rank := 0
+	prev := -1
+	for i, ci := range c {
+		for v := prev + 1; v < ci; v++ {
+			rank += binomial(m-1-v, k-1-i)
+		}
+		prev = ci
+	}
+	return rank
+}
+
+// binomial returns C(n, k) without overflow checks; callers bound n and k
+// (the engine guards group sizes through binomialAtMost first).
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1
+	for i := 1; i <= k; i++ {
+		r = r * (n - k + i) / i
+	}
+	return r
+}
+
+// binomialAtMost returns C(n, k) if it is <= limit, and limit+1 otherwise,
+// bailing out before the product can overflow. The engine uses it to test
+// "is this size group a complete enumeration?" without materializing huge
+// binomials for partial case lists.
+func binomialAtMost(n, k, limit int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1
+	for i := 1; i <= k; i++ {
+		r = r * (n - k + i) / i
+		if r > limit {
+			return limit + 1
+		}
+	}
+	return r
+}
+
+// bitKey packs a combination over {0..63} into a set bitmask. ok is false
+// when an element is out of range or repeated (such combos fail validation
+// later anyway; the planner just leaves them where they are).
+func bitKey(c []int) (uint64, bool) {
+	var key uint64
+	for _, v := range c {
+		if v < 0 || v >= 64 {
+			return 0, false
+		}
+		b := uint64(1) << uint(v)
+		if key&b != 0 {
+			return 0, false
+		}
+		key |= b
+	}
+	return key, true
+}
+
+// compileOrder plans the order in which the delta engine compiles combos: a
+// permutation of indices grouped by failure-set size (groups keep their order
+// of first appearance, so CombinationsUpTo's size-ascending layout is
+// preserved), with every complete C(m, s) size group re-sequenced into
+// revolving-door order. Adjacent compiled cases then differ by one swapped
+// controller almost everywhere — the only multi-swap steps are the seams
+// between size groups and between workers' chain boundaries. Results are
+// unaffected: the engine still reports each case under its original index,
+// so the order only decides how much work each delta step can share.
+func compileOrder(m int, combos [][]int) []int {
+	bySize := make(map[int][]int)
+	var sizes []int
+	for idx, c := range combos {
+		s := len(c)
+		if _, ok := bySize[s]; !ok {
+			sizes = append(sizes, s)
+		}
+		bySize[s] = append(bySize[s], idx)
+	}
+	order := make([]int, 0, len(combos))
+	for _, s := range sizes {
+		order = append(order, grayReorder(m, s, bySize[s], combos)...)
+	}
+	return order
+}
+
+// grayReorder re-sequences one size group into revolving-door order when the
+// group is a complete enumeration of C(m, s) distinct valid combinations;
+// anything else (partial case lists, out-of-range or duplicate entries,
+// m beyond bitmask range) keeps its given order — delta compilation is still
+// correct there, it just shares less between neighbors.
+func grayReorder(m, s int, group []int, combos [][]int) []int {
+	if s <= 0 || s >= m || m > 64 {
+		return group
+	}
+	if binomialAtMost(m, s, len(group)) != len(group) {
+		return group
+	}
+	pos := make(map[uint64]int, len(group))
+	for gi, idx := range group {
+		key, ok := bitKey(combos[idx])
+		if !ok {
+			return group
+		}
+		if _, dup := pos[key]; dup {
+			return group
+		}
+		pos[key] = gi
+	}
+	out := make([]int, 0, len(group))
+	for _, c := range GrayCombinations(m, s) {
+		key, _ := bitKey(c)
+		if gi, ok := pos[key]; ok {
+			out = append(out, group[gi])
+		}
+	}
+	if len(out) != len(group) {
+		// Distinct valid combos of size s but not the full enumeration —
+		// unreachable given the count check above, kept as a safety net.
+		return group
+	}
+	return out
+}

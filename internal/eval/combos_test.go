@@ -1,0 +1,155 @@
+package eval
+
+import (
+	"fmt"
+	"slices"
+	"testing"
+
+	"pmedic/internal/scenario"
+)
+
+// TestGrayCombinations property-tests the revolving-door enumerator over a
+// grid of (m, k): every C(m, k) subset appears exactly once, every adjacent
+// pair differs by exactly one swapped element, and LexRank is a bijection
+// onto scenario.Combinations' lexicographic order.
+func TestGrayCombinations(t *testing.T) {
+	for m := 0; m <= 10; m++ {
+		for k := 0; k <= m; k++ {
+			gray := GrayCombinations(m, k)
+			lex := scenario.Combinations(m, k)
+			if len(gray) != len(lex) {
+				t.Fatalf("m=%d k=%d: %d gray combos, want %d", m, k, len(gray), len(lex))
+			}
+			seen := make(map[string]bool, len(gray))
+			rankSeen := make([]bool, len(lex))
+			for i, c := range gray {
+				if len(c) != k || !sortedDistinctInRange(c, m) {
+					t.Fatalf("m=%d k=%d: combo %v is not a sorted k-subset of [0,%d)", m, k, c, m)
+				}
+				key := fmt.Sprint(c)
+				if seen[key] {
+					t.Fatalf("m=%d k=%d: combo %v emitted twice", m, k, c)
+				}
+				seen[key] = true
+				// Adjacency: one element out, one in.
+				if i > 0 && symDiff(gray[i-1], c) != 2 {
+					t.Fatalf("m=%d k=%d: combos %v -> %v differ by %d elements, want one swap",
+						m, k, gray[i-1], c, symDiff(gray[i-1], c)/2)
+				}
+				// LexRank is a bijection onto the lexicographic enumeration.
+				r := LexRank(m, c)
+				if r < 0 || r >= len(lex) || rankSeen[r] {
+					t.Fatalf("m=%d k=%d: LexRank(%v) = %d invalid or repeated", m, k, c, r)
+				}
+				rankSeen[r] = true
+				if !slices.Equal(lex[r], c) {
+					t.Fatalf("m=%d k=%d: LexRank(%v) = %d but Combinations[%d] = %v", m, k, c, r, r, lex[r])
+				}
+			}
+			// Canonical endpoints of the revolving-door order.
+			if k >= 1 && k < m {
+				first, last := gray[0], gray[len(gray)-1]
+				if LexRank(m, first) != 0 {
+					t.Errorf("m=%d k=%d: first combo %v is not {0..k-1}", m, k, first)
+				}
+				if last[len(last)-1] != m-1 {
+					t.Errorf("m=%d k=%d: last combo %v does not end at %d", m, k, last, m-1)
+				}
+			}
+		}
+	}
+}
+
+func sortedDistinctInRange(c []int, m int) bool {
+	for i, v := range c {
+		if v < 0 || v >= m || (i > 0 && v <= c[i-1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// symDiff returns |a Δ b| for sorted slices.
+func symDiff(a, b []int) int {
+	i, j, d := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+			d++
+		default:
+			j++
+			d++
+		}
+	}
+	return d + (len(a) - i) + (len(b) - j)
+}
+
+// TestCompileOrder checks the engine's compile planner: the order is always
+// a permutation of the case indices; complete lexicographic blocks come back
+// Gray-adjacent; size groups keep CombinationsUpTo's size-ascending layout;
+// and partial or malformed case lists pass through untouched.
+func TestCompileOrder(t *testing.T) {
+	isPerm := func(t *testing.T, order []int, n int) {
+		t.Helper()
+		if len(order) != n {
+			t.Fatalf("order has %d entries, want %d", len(order), n)
+		}
+		seen := make([]bool, n)
+		for _, idx := range order {
+			if idx < 0 || idx >= n || seen[idx] {
+				t.Fatalf("order %v is not a permutation of [0,%d)", order, n)
+			}
+			seen[idx] = true
+		}
+	}
+
+	t.Run("full enumeration is gray-adjacent", func(t *testing.T) {
+		for _, mk := range [][2]int{{6, 2}, {6, 3}, {8, 4}, {5, 1}} {
+			m, k := mk[0], mk[1]
+			combos := scenario.Combinations(m, k)
+			order := compileOrder(m, combos)
+			isPerm(t, order, len(combos))
+			for i := 1; i < len(order); i++ {
+				if d := symDiff(combos[order[i-1]], combos[order[i]]); d != 2 && k > 1 {
+					t.Fatalf("m=%d k=%d: compile neighbors %v -> %v differ by %d", m, k,
+						combos[order[i-1]], combos[order[i]], d)
+				}
+			}
+		}
+	})
+
+	t.Run("size groups stay size-ascending", func(t *testing.T) {
+		combos := scenario.CombinationsUpTo(6, 3)
+		order := compileOrder(6, combos)
+		isPerm(t, order, len(combos))
+		lastSize := 0
+		for _, idx := range order {
+			if s := len(combos[idx]); s < lastSize {
+				t.Fatalf("size %d scheduled after size %d", s, lastSize)
+			} else {
+				lastSize = s
+			}
+		}
+	})
+
+	t.Run("partial and malformed lists pass through", func(t *testing.T) {
+		for _, combos := range [][][]int{
+			{{0, 2}, {1, 3}, {0, 5}}, // partial: not all C(6,2)
+			{{0, 0}, {1, 2}},         // duplicate element
+			{{-1, 2}, {1, 2}},        // out of range
+			{{0, 1}, {0, 1}},         // repeated combo
+		} {
+			order := compileOrder(6, combos)
+			isPerm(t, order, len(combos))
+			for i, idx := range order {
+				if idx != i {
+					t.Fatalf("list %v reordered to %v; want pass-through", combos, order)
+				}
+			}
+		}
+	})
+}

@@ -7,18 +7,20 @@ import (
 	"pmedic/internal/scenario"
 )
 
-// TestSweepDeterminism is the parallel engine's acceptance gate: a sweep must
+// TestSweepDeterminism is the sweep engine's acceptance gate: a sweep must
 // produce the same CaseResult slice — same case order, same instances, same
-// reports, same cached statistics — no matter how many workers run it, and
-// repeated parallel runs must agree with each other. Only the wall-clock
-// Runtime fields are exempt, and they are zeroed before comparing.
+// reports, same cached statistics — no matter how many workers run it and no
+// matter whether cases compile from scratch or incrementally along Gray
+// chains (delta ≡ scratch at every worker count), and repeated parallel runs
+// must agree with each other. Only the wall-clock Runtime fields are exempt,
+// and they are zeroed before comparing.
 func TestSweepDeterminism(t *testing.T) {
 	dep, flows := fixtures(t)
-	run := func(workers int) []*CaseResult {
+	run := func(workers int, mode SweepMode) []*CaseResult {
 		t.Helper()
-		cases, err := SweepOpts(dep, flows, 2, heuristics(), Options{Workers: workers})
+		cases, err := SweepOpts(dep, flows, 2, heuristics(), Options{Workers: workers, Mode: mode})
 		if err != nil {
-			t.Fatalf("Workers=%d: %v", workers, err)
+			t.Fatalf("Workers=%d Mode=%d: %v", workers, mode, err)
 		}
 		for _, c := range cases {
 			for _, rep := range c.Reports {
@@ -28,19 +30,61 @@ func TestSweepDeterminism(t *testing.T) {
 		return cases
 	}
 
-	sequential := run(1)
-	parallel := run(8)
-	parallelAgain := run(8)
-
-	if len(sequential) != 15 {
-		t.Fatalf("2-failure sweep produced %d cases, want 15", len(sequential))
+	reference := run(1, SweepScratch)
+	if len(reference) != 15 {
+		t.Fatalf("2-failure sweep produced %d cases, want 15", len(reference))
 	}
-	for i := range sequential {
-		if !reflect.DeepEqual(sequential[i], parallel[i]) {
-			t.Errorf("case %d (%s): Workers=1 and Workers=8 results differ", i, sequential[i].Label)
+	for _, mode := range []SweepMode{SweepScratch, SweepDelta} {
+		for _, workers := range []int{1, 3, 8} {
+			got := run(workers, mode)
+			for i := range reference {
+				if !reflect.DeepEqual(reference[i], got[i]) {
+					t.Errorf("case %d (%s): Workers=%d Mode=%d differs from sequential scratch",
+						i, reference[i].Label, workers, mode)
+				}
+			}
 		}
-		if !reflect.DeepEqual(parallel[i], parallelAgain[i]) {
-			t.Errorf("case %d (%s): two Workers=8 runs differ", i, parallel[i].Label)
+	}
+	again := run(8, SweepDelta)
+	delta := run(8, SweepDelta)
+	for i := range delta {
+		if !reflect.DeepEqual(delta[i], again[i]) {
+			t.Errorf("case %d (%s): two Workers=8 delta runs differ", i, delta[i].Label)
+		}
+	}
+}
+
+// TestForEachCaseModeEquivalence compares the instances themselves (not just
+// the evaluated reports) between the delta and scratch engines, over the
+// mixed-size case enumeration the plan-store compiler uses, at several
+// worker counts. This is the delta ≡ scratch equivalence gate CI runs under
+// -race before the bench gate.
+func TestForEachCaseModeEquivalence(t *testing.T) {
+	dep, flows := fixtures(t)
+	ctx, err := scenario.NewContext(dep, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combos := scenario.CombinationsUpTo(len(dep.Controllers), 3)
+	collect := func(workers int, mode SweepMode) []*scenario.Instance {
+		t.Helper()
+		out := make([]*scenario.Instance, len(combos))
+		err := ForEachCaseMode(ctx, combos, workers, mode, func(idx int, inst *scenario.Instance) error {
+			out[idx] = inst
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("Workers=%d Mode=%d: %v", workers, mode, err)
+		}
+		return out
+	}
+	want := collect(1, SweepScratch)
+	for _, workers := range []int{1, 2, 8} {
+		got := collect(workers, SweepDelta)
+		for i := range want {
+			if !reflect.DeepEqual(want[i], got[i]) {
+				t.Errorf("case %v: delta instance (Workers=%d) differs from scratch", combos[i], workers)
+			}
 		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pmedic/internal/core"
@@ -64,15 +65,61 @@ func (c *CaseResult) Report(name string) *core.Report {
 	return c.Reports[name]
 }
 
+// SweepMode selects the sweep engine's case-compilation strategy.
+type SweepMode int
+
+const (
+	// SweepDelta — the default — compiles cases incrementally: the engine
+	// re-sequences each complete C(m, k) block into revolving-door Gray
+	// order (combos.go), partitions it into per-worker chains, and patches
+	// each case out of its chain predecessor via
+	// scenario.Context.BuildDeltaCase while the previous case is still
+	// being solved (the compile and solve stages of a chain are pipelined).
+	// Output is byte-identical to SweepScratch at any worker count.
+	SweepDelta SweepMode = iota
+	// SweepScratch compiles every case independently with
+	// scenario.Context.Build over a plain worker pool — the pre-delta
+	// reference engine, kept as the escape hatch (`pmsim -sweep-mode
+	// scratch`) and as the baseline the delta≡scratch equivalence tests
+	// and BenchmarkSweepDelta compare against.
+	SweepScratch
+)
+
+// String names the mode the way the -sweep-mode flags spell it.
+func (m SweepMode) String() string {
+	if m == SweepScratch {
+		return "scratch"
+	}
+	return "delta"
+}
+
+// ParseSweepMode parses a -sweep-mode flag value ("delta" or "scratch").
+func ParseSweepMode(s string) (SweepMode, error) {
+	switch s {
+	case "delta":
+		return SweepDelta, nil
+	case "scratch":
+		return SweepScratch, nil
+	default:
+		return SweepDelta, fmt.Errorf("eval: unknown sweep mode %q (want delta or scratch)", s)
+	}
+}
+
 // Options tunes Sweep's evaluation engine. The zero value selects the
-// defaults: one worker per available CPU and a fresh scenario context.
+// defaults: one worker per available CPU, delta-mode case compilation, and a
+// fresh scenario context.
 type Options struct {
 	// Workers bounds the number of failure cases evaluated concurrently.
-	// 0 selects runtime.GOMAXPROCS(0); 1 forces a fully sequential sweep.
-	// Whatever the worker count, the returned slice is in exact
-	// lexicographic case order and its contents are identical (up to
-	// wall-clock Runtime fields) to a sequential run.
+	// 0 selects runtime.GOMAXPROCS(0); 1 forces a single chain, on which
+	// cases solve strictly in compile order (in delta mode the next case's
+	// compilation still overlaps the current solve). Whatever the worker
+	// count, the returned slice is in exact lexicographic case order and
+	// its contents are identical (up to wall-clock Runtime fields) to a
+	// sequential run.
 	Workers int
+	// Mode selects delta (default) or scratch case compilation; results
+	// are byte-identical either way.
+	Mode SweepMode
 	// Context, when non-nil, supplies the precomputed failure-independent
 	// scenario state; nil builds one for the sweep. Share one Context across
 	// repeated sweeps over the same deployment and workload.
@@ -100,7 +147,7 @@ func SweepOpts(dep *topo.Deployment, flows *flow.Set, k int, algs []Algorithm, o
 	}
 	combos := scenario.Combinations(len(dep.Controllers), k)
 	results := make([]*CaseResult, len(combos))
-	err := ForEachCase(ctx, combos, opts.Workers, func(idx int, inst *scenario.Instance) error {
+	err := ForEachCaseMode(ctx, combos, opts.Workers, opts.Mode, func(idx int, inst *scenario.Instance) error {
 		cr, err := evalCase(inst, combos[idx], algs)
 		if err != nil {
 			return err
@@ -115,27 +162,65 @@ func SweepOpts(dep *topo.Deployment, flows *flow.Set, k int, algs []Algorithm, o
 }
 
 // ForEachCase compiles every failure combination off the shared context and
-// calls fn with the compiled instance, fanning the cases out over a bounded
-// worker pool. fn runs concurrently for distinct indices and must only
-// touch state it owns (writing to its own slot of a results slice is the
-// intended pattern). Errors are deterministic regardless of scheduling: the
-// failing case with the lowest index wins and the remaining queue drains
-// without work. workers <= 0 selects one worker per available CPU; 1 forces
-// a fully sequential pass. The plan-store compiler and the sweep harness
-// share this engine.
+// calls fn with the compiled instance, using the default delta engine
+// (ForEachCaseMode with SweepDelta). fn runs concurrently for distinct
+// indices and must only touch state it owns (writing to its own slot of a
+// results slice is the intended pattern). Errors are deterministic
+// regardless of scheduling: the failing case with the lowest index wins.
+// workers <= 0 selects one worker per available CPU. The plan-store
+// compiler and the sweep harness share this engine.
 func ForEachCase(ctx *scenario.Context, combos [][]int, workers int, fn func(idx int, inst *scenario.Instance) error) error {
-	run := func(idx int) error {
-		inst, err := ctx.Build(combos[idx])
-		if err != nil {
-			return fmt.Errorf("eval: case %v: %w", combos[idx], err)
-		}
-		return fn(idx, inst)
+	return ForEachCaseMode(ctx, combos, workers, SweepDelta, fn)
+}
+
+// ForEachCaseMode is ForEachCase with an explicit compilation mode. Both
+// modes call fn with instances that are byte-identical to
+// scenario.Context.Build's, under the case's original index, so results are
+// independent of mode and worker count.
+func ForEachCaseMode(ctx *scenario.Context, combos [][]int, workers int, mode SweepMode, fn func(idx int, inst *scenario.Instance) error) error {
+	if len(combos) == 0 {
+		return nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(combos) {
 		workers = len(combos)
+	}
+	if mode == SweepScratch {
+		return forEachCaseScratch(ctx, combos, workers, fn)
+	}
+	return forEachCaseDelta(ctx, combos, workers, fn)
+}
+
+// caseErrTracker implements the engine's deterministic error contract: among
+// every case that errored, the lowest original index wins, regardless of
+// scheduling; once any error lands, the remaining queue drains without work.
+type caseErrTracker struct {
+	mu       sync.Mutex
+	firstErr error
+	errIdx   int
+	failed   atomic.Bool
+}
+
+func (tr *caseErrTracker) record(idx int, err error) {
+	tr.mu.Lock()
+	if tr.firstErr == nil || idx < tr.errIdx {
+		tr.firstErr, tr.errIdx = err, idx
+	}
+	tr.mu.Unlock()
+	tr.failed.Store(true)
+}
+
+// forEachCaseScratch is the pre-delta reference engine: a plain worker pool
+// where each worker compiles its case from scratch and solves it.
+func forEachCaseScratch(ctx *scenario.Context, combos [][]int, workers int, fn func(idx int, inst *scenario.Instance) error) error {
+	run := func(idx int) error {
+		inst, err := ctx.Build(combos[idx])
+		if err != nil {
+			return fmt.Errorf("eval: case %v: %w", combos[idx], err)
+		}
+		return fn(idx, inst)
 	}
 	if workers <= 1 {
 		for idx := range combos {
@@ -147,10 +232,8 @@ func ForEachCase(ctx *scenario.Context, combos [][]int, workers int, fn func(idx
 	}
 
 	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		errIdx   = len(combos)
+		wg sync.WaitGroup
+		tr caseErrTracker
 	)
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -158,18 +241,11 @@ func ForEachCase(ctx *scenario.Context, combos [][]int, workers int, fn func(idx
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
-				mu.Lock()
-				failed := firstErr != nil
-				mu.Unlock()
-				if failed {
+				if tr.failed.Load() {
 					continue
 				}
 				if err := run(idx); err != nil {
-					mu.Lock()
-					if idx < errIdx {
-						firstErr, errIdx = err, idx
-					}
-					mu.Unlock()
+					tr.record(idx, err)
 				}
 			}
 		}()
@@ -179,7 +255,78 @@ func ForEachCase(ctx *scenario.Context, combos [][]int, workers int, fn func(idx
 	}
 	close(jobs)
 	wg.Wait()
-	return firstErr
+	return tr.firstErr
+}
+
+// deltaStatePool recycles chain compilation state across sweeps; repeated
+// sweeps over the same context reuse the arenas (and even warm-start their
+// first diff from wherever the previous chain left off).
+var deltaStatePool = sync.Pool{New: func() any { return new(scenario.DeltaState) }}
+
+// compiledCase is one unit flowing through a chain's compile→solve pipe.
+type compiledCase struct {
+	idx  int
+	inst *scenario.Instance
+}
+
+// forEachCaseDelta is the pipelined two-stage delta engine. The case list is
+// re-sequenced into revolving-door compile order (compileOrder), statically
+// partitioned into `workers` contiguous chains — a deterministic split, so
+// which cases share a delta chain never depends on scheduling — and each
+// chain runs two goroutines: a compiler that patches case i+1 out of case i
+// via scenario.Context.BuildDeltaCase, and a solver draining a buffered
+// channel, so compilation of the next case overlaps the solve of the
+// current one. fn still receives each case's original index; the Gray
+// ordering is invisible in the results.
+func forEachCaseDelta(ctx *scenario.Context, combos [][]int, workers int, fn func(idx int, inst *scenario.Instance) error) error {
+	order := compileOrder(len(ctx.Dep.Controllers), combos)
+
+	var (
+		wg sync.WaitGroup
+		tr caseErrTracker
+	)
+	n := len(order)
+	for c := 0; c < workers; c++ {
+		lo, hi := c*n/workers, (c+1)*n/workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(chain []int) {
+			defer wg.Done()
+			pipe := make(chan compiledCase, 1)
+			var compiler sync.WaitGroup
+			compiler.Add(1)
+			go func() {
+				defer compiler.Done()
+				defer close(pipe)
+				st := deltaStatePool.Get().(*scenario.DeltaState)
+				defer deltaStatePool.Put(st)
+				for _, idx := range chain {
+					if tr.failed.Load() {
+						return
+					}
+					inst, err := ctx.BuildDeltaCase(combos[idx], st)
+					if err != nil {
+						tr.record(idx, fmt.Errorf("eval: case %v: %w", combos[idx], err))
+						return
+					}
+					pipe <- compiledCase{idx, inst}
+				}
+			}()
+			for cc := range pipe {
+				if tr.failed.Load() {
+					continue
+				}
+				if err := fn(cc.idx, cc.inst); err != nil {
+					tr.record(cc.idx, err)
+				}
+			}
+			compiler.Wait()
+		}(order[lo:hi])
+	}
+	wg.Wait()
+	return tr.firstErr
 }
 
 // RunCase builds the instance for one failure combination and runs every

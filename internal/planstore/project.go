@@ -2,12 +2,19 @@ package planstore
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"pmedic/internal/core"
 	"pmedic/internal/scenario"
 	"pmedic/internal/topo"
 )
+
+// transPool recycles Project's controller-translation scratch. The daemon
+// consults the store on every fallback recovery, and the projected mapping
+// used to allocate one deployment-sized slice per consult; pooling keeps the
+// steady-state fallback path free of that per-call garbage.
+var transPool = sync.Pool{New: func() any { return new([]int) }}
 
 // Project translates a plan compiled for a superset failure (sup.Failed ⊇
 // inst.Failed) onto the smaller failure's instance. Every structure of inst
@@ -33,8 +40,15 @@ func Project(sup *scenario.Instance, supSol *core.Solution, inst *scenario.Insta
 	}
 	sp, ip := sup.Problem, inst.Problem
 
-	// Deployment controller index → inst problem controller index.
-	trans := make([]int, len(inst.Dep.Controllers))
+	// Deployment controller index → inst problem controller index. The
+	// mapping is pure per-call scratch (nothing retained by the returned
+	// solution aliases it), so it comes from the pool.
+	transBuf := transPool.Get().(*[]int)
+	defer transPool.Put(transBuf)
+	if cap(*transBuf) < len(inst.Dep.Controllers) {
+		*transBuf = make([]int, len(inst.Dep.Controllers))
+	}
+	trans := (*transBuf)[:len(inst.Dep.Controllers)]
 	for j := range trans {
 		trans[j] = -1
 	}

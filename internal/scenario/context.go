@@ -169,28 +169,8 @@ func (ctx *Context) Build(failed []int) (*Instance, error) {
 		NumSwitches:    len(inst.Switches),
 		NumControllers: len(inst.Active),
 	}
-	// Delay rows are views into one flat backing array — the Problem keeps
-	// the [][]float64 shape its consumers index, for two allocations total.
-	p.Delay = flatMatrix(p.NumSwitches, p.NumControllers)
-	p.Gamma = make([]int, p.NumSwitches)
-	for i, sw := range inst.Switches {
-		row := p.Delay[i]
-		for jj, j := range inst.Active {
-			row[jj] = ctx.dist[dep.Controllers[j].Site][sw]
-		}
-		p.Gamma[i] = flows.SwitchFlowCount(sw)
-	}
-
-	// Residual capacities of the active controllers.
-	p.Rest = make([]int, p.NumControllers)
-	for jj, j := range inst.Active {
-		c := dep.Controllers[j]
-		rest := c.Capacity - ctx.domainLoad[j]
-		if rest < 0 {
-			return nil, fmt.Errorf("scenario: controller %d overloaded before failure: load %d > capacity %d",
-				j, ctx.domainLoad[j], c.Capacity)
-		}
-		p.Rest[jj] = rest
+	if err := ctx.fillProblemMatrices(inst, p); err != nil {
+		return nil, err
 	}
 
 	// Candidate offline flows: exactly the flows whose path crosses an
@@ -234,7 +214,7 @@ func (ctx *Context) Build(failed []int) (*Instance, error) {
 		}
 	}
 	sc.pairs = pairs
-	p.Pairs = sortPairsBySwitch(pairs, p.NumSwitches, sc)
+	p.Pairs = sortPairsBySwitch(pairs, p.NumSwitches, &sc.start)
 	p.NumFlows = len(inst.FlowIDs)
 	if p.NumFlows == 0 {
 		return nil, fmt.Errorf("%w: failure case has no recoverable offline flows", ErrBadCase)
@@ -245,8 +225,48 @@ func (ctx *Context) Build(failed []int) (*Instance, error) {
 	p.BudgetMs = p.IdealDelayBudget()
 	inst.Problem = p
 
-	// Middle-layer delay matrix: switch → layer → controller, all from the
-	// cached distance vectors of the precomputed centroid site.
+	ctx.fillMiddleDelay(inst)
+	return inst, nil
+}
+
+// fillProblemMatrices populates the Problem's Delay, Gamma, and Rest off the
+// Context's cached vectors for the instance's offline switches and active
+// controllers; it errors when an active controller was already overloaded
+// before the failure. Shared by the scratch (Build) and delta
+// (BuildDeltaCase) compilation paths.
+func (ctx *Context) fillProblemMatrices(inst *Instance, p *core.Problem) error {
+	dep, flows := ctx.Dep, ctx.Flows
+	// Delay rows are views into one flat backing array — the Problem keeps
+	// the [][]float64 shape its consumers index, for two allocations total.
+	p.Delay = flatMatrix(p.NumSwitches, p.NumControllers)
+	p.Gamma = make([]int, p.NumSwitches)
+	for i, sw := range inst.Switches {
+		row := p.Delay[i]
+		for jj, j := range inst.Active {
+			row[jj] = ctx.dist[dep.Controllers[j].Site][sw]
+		}
+		p.Gamma[i] = flows.SwitchFlowCount(sw)
+	}
+
+	// Residual capacities of the active controllers.
+	p.Rest = make([]int, p.NumControllers)
+	for jj, j := range inst.Active {
+		c := dep.Controllers[j]
+		rest := c.Capacity - ctx.domainLoad[j]
+		if rest < 0 {
+			return fmt.Errorf("scenario: controller %d overloaded before failure: load %d > capacity %d",
+				j, ctx.domainLoad[j], c.Capacity)
+		}
+		p.Rest[jj] = rest
+	}
+	return nil
+}
+
+// fillMiddleDelay populates the instance's middle-layer delay matrix:
+// switch → layer → controller, all from the cached distance vectors of the
+// precomputed centroid site.
+func (ctx *Context) fillMiddleDelay(inst *Instance) {
+	dep := ctx.Dep
 	midDist := ctx.dist[ctx.middleSite]
 	inst.MiddleSite = ctx.middleSite
 	inst.MiddleDelay = flatMatrix(len(inst.Switches), len(inst.Active))
@@ -256,7 +276,6 @@ func (ctx *Context) Build(failed []int) (*Instance, error) {
 			row[jj] = midDist[sw] + midDist[dep.Controllers[j].Site] + FlowVisorProcessingMs
 		}
 	}
-	return inst, nil
 }
 
 // flatMatrix builds an n×m [][]float64 whose rows are views into one flat
@@ -296,12 +315,13 @@ func growBools(buf *[]bool, n int) []bool {
 // order with a counting sort: pairs arrive with flows ascending, and a simple
 // path visits a switch at most once, so stable per-switch bucketing preserves
 // ascending flow order within each switch. The returned slice is freshly
-// allocated (it is retained by the Problem); the counting table is pooled.
-func sortPairsBySwitch(pairs []core.Pair, numSwitches int, sc *buildScratch) []core.Pair {
+// allocated (it is retained by the Problem); the counting table lives in the
+// caller's scratch (buildScratch or DeltaState).
+func sortPairsBySwitch(pairs []core.Pair, numSwitches int, startBuf *[]int) []core.Pair {
 	if len(pairs) == 0 {
 		return nil
 	}
-	start := growInts(&sc.start, numSwitches+1)
+	start := growInts(startBuf, numSwitches+1)
 	for i := range start {
 		start[i] = 0
 	}

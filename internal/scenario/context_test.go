@@ -100,7 +100,7 @@ func TestSortPairsBySwitch(t *testing.T) {
 		{Switch: 2, Flow: 2, PBar: 2},
 		{Switch: 1, Flow: 3, PBar: 5},
 	}
-	got := sortPairsBySwitch(pairs, 3, new(buildScratch))
+	got := sortPairsBySwitch(pairs, 3, new([]int))
 	want := []core.Pair{
 		{Switch: 0, Flow: 0, PBar: 3},
 		{Switch: 0, Flow: 2, PBar: 4},
